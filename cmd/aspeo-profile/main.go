@@ -1,0 +1,97 @@
+// Command aspeo-profile runs the offline profiling stage (paper §III-A)
+// for one application and writes the resulting speedup/power table as
+// JSON (for the controller) and optionally as a human-readable table.
+//
+// Usage:
+//
+//	aspeo-profile -app angrybirds -load BL -o angrybirds.json
+//	aspeo-profile -app wechat -mode governed -print
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"aspeo/internal/experiment"
+	"aspeo/internal/profile"
+	"aspeo/internal/report"
+	"aspeo/internal/soc"
+	"aspeo/internal/workload"
+)
+
+func main() {
+	var (
+		app    = flag.String("app", "", "application to profile: "+strings.Join(workload.Names(), ", "))
+		load   = flag.String("load", "BL", "background load: NL, BL or HL")
+		mode   = flag.String("mode", "coordinated", "profiling mode: coordinated (CPU+bandwidth) or governed (CPU only, bandwidth under cpubw_hwmon)")
+		out    = flag.String("o", "", "output JSON path (default: stdout)")
+		print  = flag.Bool("print", false, "also print the table in paper Table I format")
+		quick  = flag.Bool("quick", false, "single seed, short windows (lower fidelity)")
+		seeds  = flag.Int("runs", 3, "runs per configuration (the paper averages 3)")
+		window = flag.Duration("window", 36*time.Second, "measurement window per configuration")
+		warmup = flag.Duration("warmup", 4*time.Second, "settling time per configuration")
+	)
+	flag.Parse()
+
+	spec, err := workload.ByName(*app)
+	if err != nil {
+		fatal("%v (use -app with one of: %s)", err, strings.Join(workload.Names(), ", "))
+	}
+	bg, err := workload.ParseBGLoad(*load)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var bwMode profile.BWMode
+	switch *mode {
+	case "coordinated":
+		bwMode = profile.Coordinated
+	case "governed":
+		bwMode = profile.Governed
+	default:
+		fatal("unknown -mode %q (want coordinated or governed)", *mode)
+	}
+
+	opts := profile.Options{
+		Load:   bg,
+		Mode:   bwMode,
+		Warmup: *warmup,
+		Window: *window,
+	}
+	for i := 0; i < *seeds; i++ {
+		opts.Seeds = append(opts.Seeds, int64(11*(i+1)))
+	}
+	if *quick {
+		opts.Seeds = opts.Seeds[:1]
+		opts.Warmup = 2 * time.Second
+		opts.Window = 16 * time.Second
+	}
+
+	tab, err := profile.Run(spec, opts)
+	if err != nil {
+		fatal("profiling failed: %v", err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tab.WriteJSON(w); err != nil {
+		fatal("writing table: %v", err)
+	}
+	if *print {
+		report.TableI(os.Stderr, &experiment.TableIResult{Table: tab, SoC: soc.Nexus6()})
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aspeo-profile: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,154 @@
+// Command aspeo-repro regenerates every table and figure of the paper's
+// evaluation: Figure 1, Tables I–V, Figures 4 and 5, and the §V-A1
+// controller-overhead accounting.
+//
+// Usage:
+//
+//	aspeo-repro                    # everything, paper-fidelity seeds
+//	aspeo-repro -quick             # single-seed smoke pass
+//	aspeo-repro -only table3,fig4  # selected artifacts
+//	aspeo-repro -csv out/          # also dump CSVs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"aspeo/internal/experiment"
+	"aspeo/internal/report"
+	"aspeo/internal/workload"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "single seed, short windows")
+		only  = flag.String("only", "", "comma-separated subset: fig1,table1,table2,table3,fig4,fig5,overhead,table4,table5,reprofile,battery,loadmodel,phase,thermal")
+		csv   = flag.String("csv", "", "directory for CSV exports")
+	)
+	flag.Parse()
+
+	cfg := experiment.Default()
+	if *quick {
+		cfg = experiment.Quick()
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+	out := os.Stdout
+	start := time.Now()
+
+	if sel("fig1") {
+		r, err := cfg.Fig1()
+		check(err, "fig1")
+		report.Fig1(out, r)
+		fmt.Fprintln(out)
+	}
+	if sel("table1") {
+		r, err := cfg.TableI()
+		check(err, "table1")
+		report.TableI(out, r)
+		fmt.Fprintln(out)
+	}
+	if sel("table2") {
+		report.TableII(out, experiment.TableII())
+		fmt.Fprintln(out)
+	}
+
+	var t3 *experiment.TableIIIResult
+	needT3 := sel("table3") || sel("fig4") || sel("fig5") || sel("table4") || sel("table5") || sel("overhead") || sel("battery")
+	if needT3 {
+		var err error
+		t3, err = cfg.TableIII()
+		check(err, "table3")
+	}
+	if sel("table3") {
+		report.TableIII(out, t3)
+		fmt.Fprintln(out)
+		if *csv != "" {
+			writeCSV(*csv, "table3.csv", func(f *os.File) { report.ComparisonCSV(f, t3.Rows) })
+		}
+	}
+	if sel("fig4") {
+		report.Fig4(out, experiment.Fig4(t3))
+	}
+	if sel("fig5") {
+		report.Fig5(out, experiment.Fig5(t3))
+	}
+	if sel("overhead") {
+		r, err := cfg.Overhead(t3.Tables["angrybirds"], t3.Targets["angrybirds"])
+		check(err, "overhead")
+		report.Overhead(out, r)
+		fmt.Fprintln(out)
+	}
+	if sel("table4") {
+		r, err := cfg.TableIV(t3)
+		check(err, "table4")
+		report.TableIV(out, r)
+		fmt.Fprintln(out)
+	}
+	if sel("table5") {
+		r, err := cfg.TableV(t3)
+		check(err, "table5")
+		report.TableV(out, r)
+		fmt.Fprintln(out)
+		if *csv != "" {
+			writeCSV(*csv, "table5.csv", func(f *os.File) { report.ComparisonCSV(f, r.Rows) })
+		}
+	}
+	if sel("battery") {
+		rows, err := experiment.BatteryLife(t3)
+		check(err, "battery")
+		report.BatteryLife(out, rows)
+		fmt.Fprintln(out)
+	}
+	if sel("loadmodel") {
+		r, err := cfg.LoadModelStudy(workload.AngryBirds())
+		check(err, "loadmodel")
+		report.LoadModel(out, r)
+		fmt.Fprintln(out)
+	}
+	if sel("phase") {
+		r, err := cfg.PhaseStudy()
+		check(err, "phase")
+		report.Phase(out, r)
+		fmt.Fprintln(out)
+	}
+	if sel("thermal") {
+		r, err := cfg.ThermalStudy()
+		check(err, "thermal")
+		report.Thermal(out, r)
+		fmt.Fprintln(out)
+	}
+	if sel("reprofile") {
+		cmp, err := cfg.ReprofileMobileBenchNL()
+		check(err, "reprofile")
+		fmt.Fprintf(out, "MobileBench re-profiled under NL (paper §V-C): perf %+0.1f%%, energy savings %.1f%%\n\n",
+			cmp.PerfDeltaPct, cmp.EnergySavingsPct)
+	}
+	fmt.Fprintf(os.Stderr, "aspeo-repro: done in %v\n", time.Since(start).Round(time.Second))
+}
+
+func writeCSV(dir, name string, fn func(*os.File)) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		check(err, name)
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	check(err, name)
+	defer f.Close()
+	fn(f)
+}
+
+func check(err error, what string) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aspeo-repro: %s: %v\n", what, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,170 @@
+// Command aspeo-run executes one application on the simulated phone,
+// either under a stock governor pair or under the energy controller, and
+// reports energy, performance and residency histograms.
+//
+// Usage:
+//
+//	aspeo-run -app angrybirds -governor interactive
+//	aspeo-run -app angrybirds -controller -profile angrybirds.json -target 0.44
+//	aspeo-run -app spotify -controller            # profiles + targets automatically
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"aspeo/internal/core"
+	"aspeo/internal/experiment"
+	"aspeo/internal/governor"
+	"aspeo/internal/perftool"
+	"aspeo/internal/profile"
+	"aspeo/internal/report"
+	"aspeo/internal/sim"
+	"aspeo/internal/sysfs"
+	"aspeo/internal/workload"
+)
+
+func main() {
+	var (
+		app        = flag.String("app", "", "application: "+strings.Join(workload.Names(), ", "))
+		load       = flag.String("load", "BL", "background load: NL, BL or HL")
+		gov        = flag.String("governor", "interactive", "cpufreq governor for the baseline run: interactive, ondemand, performance, powersave")
+		useCtl     = flag.Bool("controller", false, "run under the energy controller instead of a governor")
+		profPath   = flag.String("profile", "", "profile table JSON (from aspeo-profile); profiled on the fly when empty")
+		target     = flag.Float64("target", 0, "performance target in GIPS; measured from the default governors when 0")
+		cpuOnly    = flag.Bool("cpu-only", false, "controller actuates CPU frequency only (Table V baseline)")
+		seed       = flag.Int64("seed", 101, "simulation seed")
+		quick      = flag.Bool("quick", false, "reduced-fidelity profiling when done on the fly")
+		histograms = flag.Bool("hist", false, "print residency histograms")
+		traceCSV   = flag.String("trace", "", "write a time-series trace CSV to this path")
+	)
+	flag.Parse()
+
+	spec, err := workload.ByName(*app)
+	if err != nil {
+		fatal("%v", err)
+	}
+	bg, err := workload.ParseBGLoad(*load)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	cfg := sim.Config{Foreground: spec, Load: bg, Seed: *seed, ScreenOn: true, WiFiOn: true}
+	if *traceCSV != "" {
+		cfg.TraceEvery = 100 * time.Millisecond
+	}
+	ph, err := sim.NewPhone(cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	eng := sim.NewEngine(ph)
+
+	if *useCtl {
+		tab, tgt, err := tableAndTarget(spec, bg, *profPath, *target, *quick, *cpuOnly)
+		if err != nil {
+			fatal("%v", err)
+		}
+		opts := core.DefaultOptions(tab, tgt)
+		opts.Seed = *seed
+		opts.CPUOnly = *cpuOnly
+		ctl, err := core.New(opts)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if *cpuOnly {
+			eng.MustRegister(governor.NewDevFreq())
+		}
+		if err := ctl.Install(eng); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("controller: target %.4f GIPS, table %d entries (base %.4f GIPS)\n",
+			tgt, tab.Len(), tab.BaseGIPS)
+	} else {
+		if err := ph.FS().Write(sysfs.CPUScalingGovernor, *gov); err != nil {
+			fatal("setting governor: %v", err)
+		}
+		governor.Defaults(eng)
+		eng.MustRegister(perftool.MustNew(time.Second, *seed))
+	}
+
+	var st sim.Stats
+	if spec.DeadlineCritical {
+		st = eng.Run(spec.RunFor*3, true)
+	} else {
+		st = eng.Run(spec.RunFor, false)
+	}
+
+	fmt.Printf("app=%s load=%s runtime=%.1fs energy=%.1fJ avg-power=%.3fW peak=%.3fW gips=%.4f freq-changes=%d bw-changes=%d\n",
+		spec.Name, bg, st.Duration.Seconds(), st.EnergyJ, st.AvgPowerW, st.PeakPowerW,
+		st.GIPS, st.FreqChanges, st.BWChanges)
+	if st.DroppedInstr > 0 {
+		fmt.Printf("dropped foreground work: %.3g instructions\n", st.DroppedInstr)
+	}
+	if *histograms {
+		fmt.Println()
+		report.Histogram(os.Stdout, "CPU frequency residency", ph.CPUHistogram().Percents(), 40)
+		fmt.Println()
+		report.Histogram(os.Stdout, "Memory bandwidth residency", ph.BWHistogram().Percents(), 40)
+	}
+	if *traceCSV != "" {
+		f, err := os.Create(*traceCSV)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		if err := ph.Recorder().WriteCSV(f); err != nil {
+			fatal("writing trace: %v", err)
+		}
+	}
+}
+
+// tableAndTarget resolves the controller inputs: a stored table or a
+// fresh profiling pass, and the default-measured target when none given.
+func tableAndTarget(spec *workload.Spec, bg workload.BGLoad, path string,
+	target float64, quick, cpuOnly bool) (*profile.Table, float64, error) {
+
+	exp := experiment.Default()
+	if quick {
+		exp = experiment.Quick()
+	}
+	var tab *profile.Table
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer f.Close()
+		tab, err = profile.ReadJSON(f)
+		if err != nil {
+			return nil, 0, err
+		}
+	} else {
+		var err error
+		fmt.Fprintln(os.Stderr, "profiling (pass -profile to reuse a stored table)...")
+		mode := profile.Coordinated
+		if cpuOnly {
+			mode = profile.Governed
+		}
+		tab, err = exp.Profile(spec, bg, mode)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	if target == 0 {
+		fmt.Fprintln(os.Stderr, "measuring default-governor performance for the target...")
+		def, err := exp.MeasureDefault(spec, bg)
+		if err != nil {
+			return nil, 0, err
+		}
+		target = def.GIPS
+	}
+	return tab, target, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aspeo-run: "+format+"\n", args...)
+	os.Exit(1)
+}

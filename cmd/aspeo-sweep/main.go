@@ -1,0 +1,77 @@
+// Command aspeo-sweep measures an application exhaustively across the
+// full 18×13 configuration space (or a sub-grid) and emits a CSV of
+// GIPS and power per configuration — the ground truth against which the
+// paper's sparse-profiling + interpolation scheme can be judged.
+//
+// Usage:
+//
+//	aspeo-sweep -app angrybirds -stride-f 2 -stride-bw 3 > sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"aspeo/internal/sim"
+	"aspeo/internal/soc"
+	"aspeo/internal/workload"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "", "application: "+strings.Join(workload.Names(), ", "))
+		load     = flag.String("load", "BL", "background load: NL, BL or HL")
+		strideF  = flag.Int("stride-f", 1, "frequency ladder stride")
+		strideBW = flag.Int("stride-bw", 1, "bandwidth ladder stride")
+		window   = flag.Duration("window", 16*time.Second, "measurement window per configuration")
+		warmup   = flag.Duration("warmup", 2*time.Second, "settling time per configuration")
+		seed     = flag.Int64("seed", 11, "simulation seed")
+	)
+	flag.Parse()
+
+	spec, err := workload.ByName(*app)
+	if err != nil {
+		fatal("%v", err)
+	}
+	bg, err := workload.ParseBGLoad(*load)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *strideF < 1 || *strideBW < 1 {
+		fatal("strides must be >= 1")
+	}
+
+	// Sweep a looped copy so finite workloads never run dry mid-window.
+	looped := *spec
+	looped.Loop = true
+	looped.LoopCount = 0
+
+	chip := soc.Nexus6()
+	fmt.Println("freq_idx,freq_ghz,bw_idx,bw_mbps,gips,power_w")
+	for fi := 0; fi < len(chip.CPUFreqs); fi += *strideF {
+		for bi := 0; bi < len(chip.MemBWs); bi += *strideBW {
+			ph, err := sim.NewPhone(sim.Config{
+				Foreground: &looped, Load: bg, Seed: *seed,
+				ScreenOn: true, WiFiOn: true,
+			})
+			if err != nil {
+				fatal("%v", err)
+			}
+			eng := sim.NewEngine(ph)
+			eng.MustRegister(&sim.FixedConfigActor{FreqIdx: fi, BWIdx: bi})
+			eng.Run(*warmup, false)
+			st := eng.Run(*window, false)
+			fmt.Printf("%d,%.4f,%d,%.0f,%.4f,%.4f\n",
+				fi+1, chip.Freq(fi).GHz(), bi+1, chip.BW(bi).MBps(),
+				st.GIPS, st.AvgPowerW)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aspeo-sweep: "+format+"\n", args...)
+	os.Exit(1)
+}

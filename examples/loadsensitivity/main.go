@@ -1,0 +1,45 @@
+// Loadsensitivity: the paper's §V-C study on one app — profile under the
+// baseline load, then run the controller under No-Load and Heavier-Load
+// conditions with the *stale* profile and target, exactly the situation
+// that degrades Spotify's savings in Table IV.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aspeo/internal/experiment"
+	"aspeo/internal/profile"
+	"aspeo/internal/workload"
+)
+
+func main() {
+	cfg := experiment.Quick()
+	spec := workload.Spotify()
+
+	// Profile once, under the baseline load (WiFi on, e-mail sync,
+	// background services) — the paper's single profiling condition.
+	tab, err := cfg.Profile(spec, workload.BaselineLoad, profile.Coordinated)
+	if err != nil {
+		log.Fatal(err)
+	}
+	def, err := cfg.MeasureDefault(spec, workload.BaselineLoad)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := def.GIPS
+	fmt.Printf("BL profile: base %.4f GIPS; target %.4f GIPS\n\n", tab.BaseGIPS, target)
+
+	fmt.Printf("%-5s %12s %12s %12s\n", "load", "perf Δ (%)", "energy Δ (%)", "free mem")
+	for _, load := range []workload.BGLoad{workload.BaselineLoad, workload.NoLoad, workload.HeavierLoad} {
+		cmp, err := cfg.Evaluate(spec, tab, target, load, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5s %+12.1f %12.1f %9d MB\n",
+			load, cmp.PerfDeltaPct, cmp.EnergySavingsPct, load.FreeMemMB())
+	}
+	fmt.Println("\nThe savings shrink away from the profiling condition because the")
+	fmt.Println("default governor wastes less under NL/HL for this app (§V-C), while")
+	fmt.Println("the controller's absolute power stays roughly constant.")
+}

@@ -1,0 +1,48 @@
+// Quickstart: profile AngryBirds offline, measure the default governors,
+// then run the energy controller against the default's performance — the
+// paper's two-stage pipeline end to end, in ~30 lines of API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aspeo/internal/experiment"
+	"aspeo/internal/profile"
+	"aspeo/internal/workload"
+)
+
+func main() {
+	cfg := experiment.Quick() // single seed; use experiment.Default() for 3-run averaging
+	spec := workload.AngryBirds()
+
+	// Stage 1 — offline profiling: speedup and device power for the
+	// app-specific configuration subset, interpolated across the
+	// bandwidth ladder (paper §III-A, Table I).
+	tab, err := cfg.Profile(spec, workload.BaselineLoad, profile.Coordinated)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %d configurations; base speed %.3f GIPS (paper: 0.129)\n",
+		tab.Len(), tab.BaseGIPS)
+
+	// Baseline: the stock interactive + cpubw_hwmon governors.
+	def, err := cfg.MeasureDefault(spec, workload.BaselineLoad)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("default governors: %.1f J, %.3f W, %.4f GIPS\n",
+		def.EnergyJ, def.AvgPowerW, def.GIPS)
+
+	// Stage 2 — online control: minimize energy while holding the
+	// default's performance (paper §III-B).
+	ctl, err := cfg.RunController(spec, tab, def.GIPS, workload.BaselineLoad, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("controller:        %.1f J, %.3f W, %.4f GIPS\n",
+		ctl.EnergyJ, ctl.AvgPowerW, ctl.GIPS)
+	fmt.Printf("energy savings: %.1f%%  performance delta: %+.1f%%\n",
+		100*(def.EnergyJ-ctl.EnergyJ)/def.EnergyJ,
+		100*(ctl.GIPS-def.GIPS)/def.GIPS)
+}

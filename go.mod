@@ -1,0 +1,3 @@
+module aspeo
+
+go 1.22

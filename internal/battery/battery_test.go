@@ -1,0 +1,177 @@
+package battery
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestParamsValidation(t *testing.T) {
+	if err := Nexus6Pack().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Nexus6Pack()
+	bad.CapacitymAh = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	bad = Nexus6Pack()
+	bad.EmptyV = 5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("inverted voltages accepted")
+	}
+	bad = Nexus6Pack()
+	bad.CoulombicEff = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero efficiency accepted")
+	}
+	if _, err := New(bad); err == nil {
+		t.Fatal("New accepted invalid params")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	bad := Nexus6Pack()
+	bad.CapacitymAh = -1
+	MustNew(bad)
+}
+
+func TestFreshCellState(t *testing.T) {
+	c := MustNew(Nexus6Pack())
+	if got := c.SOC(); got != 1.0 {
+		t.Fatalf("fresh SOC = %v", got)
+	}
+	if c.Exhausted() || c.DrainedJ() != 0 || c.Elapsed() != 0 {
+		t.Fatal("fresh cell carries state")
+	}
+}
+
+func TestOCVMonotoneInSOC(t *testing.T) {
+	c := MustNew(Nexus6Pack())
+	prev := math.Inf(1)
+	for !c.Exhausted() && c.SOC() > 0.01 {
+		v := c.OCV()
+		if v > prev+1e-9 {
+			t.Fatalf("OCV rose while discharging: %v after %v at SOC %.3f", v, prev, c.SOC())
+		}
+		prev = v
+		c.Drain(3.0, time.Minute)
+	}
+	p := Nexus6Pack()
+	if prev > p.FullV || prev < p.EmptyV-0.01 {
+		t.Fatalf("final OCV %v outside [%v,%v]", prev, p.EmptyV, p.FullV)
+	}
+}
+
+func TestDrainAccounting(t *testing.T) {
+	c := MustNew(Nexus6Pack())
+	v := c.Drain(2.0, time.Hour)
+	if v <= 0 || v > Nexus6Pack().FullV {
+		t.Fatalf("terminal voltage %v implausible", v)
+	}
+	if got := c.DrainedJ(); math.Abs(got-2.0*3600) > 1 {
+		t.Fatalf("DrainedJ = %v, want 7200", got)
+	}
+	if c.SOC() >= 1.0 {
+		t.Fatal("SOC did not fall")
+	}
+	// 2 W at ~3.8 V ≈ 0.53 A for 1 h ≈ 530 mAh of 3220 → SOC ≈ 0.835.
+	if c.SOC() < 0.80 || c.SOC() > 0.88 {
+		t.Fatalf("SOC after 1h at 2W = %.3f, want ≈0.835", c.SOC())
+	}
+}
+
+func TestDrainIgnoresNonPositive(t *testing.T) {
+	c := MustNew(Nexus6Pack())
+	c.Drain(0, time.Hour)
+	c.Drain(-5, time.Hour)
+	c.Drain(5, -time.Hour)
+	if c.SOC() != 1.0 {
+		t.Fatal("non-positive drain moved the SOC")
+	}
+}
+
+func TestCellExhausts(t *testing.T) {
+	c := MustNew(Nexus6Pack())
+	for i := 0; i < 100000 && !c.Exhausted(); i++ {
+		c.Drain(3.0, time.Minute)
+	}
+	if !c.Exhausted() {
+		t.Fatal("cell never exhausted")
+	}
+	if c.SOC() > 0.08 {
+		t.Fatalf("exhausted at SOC %.3f", c.SOC())
+	}
+	// A 3220 mAh / 3.8 V pack holds ~44 kJ; at 3 W that's ~4.1 h.
+	hours := c.Elapsed().Hours()
+	if hours < 3.0 || hours > 5.0 {
+		t.Fatalf("life at 3 W = %.2f h, want ≈4 h", hours)
+	}
+}
+
+func TestInternalResistanceCostsLife(t *testing.T) {
+	ideal := Nexus6Pack()
+	ideal.InternalOhm = 0
+	lossy := Nexus6Pack()
+	lossy.InternalOhm = 0.3
+
+	li, err := LifeEstimate(ideal, 4.0, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll, err := LifeEstimate(lossy, 4.0, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ll >= li {
+		t.Fatalf("internal resistance must cost life: %v vs %v", ll, li)
+	}
+}
+
+func TestLifeEstimateValidation(t *testing.T) {
+	if _, err := LifeEstimate(Nexus6Pack(), 0, time.Second); err == nil {
+		t.Fatal("zero power accepted")
+	}
+	bad := Nexus6Pack()
+	bad.CapacitymAh = -1
+	if _, err := LifeEstimate(bad, 2, time.Second); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+// Property: battery life is monotone decreasing in draw.
+func TestLifeMonotoneProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		p1 := 1 + float64(raw%40)/10 // 1.0 .. 4.9 W
+		p2 := p1 + 0.5
+		l1, err1 := LifeEstimate(Nexus6Pack(), p1, time.Minute)
+		l2, err2 := LifeEstimate(Nexus6Pack(), p2, time.Minute)
+		return err1 == nil && err2 == nil && l2 <= l1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The paper's headline translated to runtime: ~15% lower power must
+// yield >15% more battery life (the I²R sag compounds the gain).
+func TestLifeExtensionExceedsPowerSavings(t *testing.T) {
+	const defW, ctlW = 3.354, 2.606 // the quickstart AngryBirds numbers
+	ext, err := LifeExtensionPct(Nexus6Pack(), defW, ctlW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powerSavingsPct := 100 * (defW - ctlW) / defW
+	if ext < powerSavingsPct {
+		t.Fatalf("life extension %.1f%% below the power savings %.1f%%", ext, powerSavingsPct)
+	}
+	if ext > 60 {
+		t.Fatalf("life extension %.1f%% implausibly high", ext)
+	}
+}

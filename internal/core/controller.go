@@ -1,0 +1,353 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"aspeo/internal/kalman"
+	"aspeo/internal/perftool"
+	"aspeo/internal/profile"
+	"aspeo/internal/sim"
+	"aspeo/internal/sysfs"
+)
+
+// Options configure the online controller.
+type Options struct {
+	// Table is the application's offline profile (Stage 1 output).
+	Table *profile.Table
+	// TargetGIPS is the user-specified performance target r, typically
+	// the performance measured under the default governors (§III-A).
+	TargetGIPS float64
+	// CycleT is the control cycle duration (paper: 2 s).
+	CycleT time.Duration
+	// Quantum is the scheduler's minimum dwell at a configuration
+	// (paper: 200 ms).
+	Quantum time.Duration
+	// PerfPeriod is the perf sampling period (paper: 1 s).
+	PerfPeriod time.Duration
+	// Seed drives measurement-noise reproduction.
+	Seed int64
+	// CPUOnly restricts actuation to the CPU frequency, leaving the
+	// memory bandwidth to its default governor — the Table V baseline.
+	CPUOnly bool
+	// UseLP makes the online optimizer call the simplex solver instead
+	// of the specialized two-configuration search (results identical).
+	UseLP bool
+	// Pole ρ ∈ [0,1) damps the integral regulator:
+	// s_n = s_{n-1} + (1−ρ)·e_{n-1}/b_{n-1}. ρ = 0 is the deadbeat
+	// controller of Eqn. (3); a positive pole trades convergence speed
+	// for robustness to the one-cycle measurement delay (POET, the
+	// paper's base controller, exposes the same knob). Defaults to 0.5
+	// when NaN/unset via DefaultOptions.
+	Pole float64
+	// PhaseAware enables online phase tracking (§V-B): control cycles
+	// are clustered by their performance signature and the integrator
+	// keeps independent state per phase, so re-entering a known phase
+	// resumes from its converged speedup.
+	PhaseAware bool
+	// MaxPhases bounds the tracker's cluster count (default 4).
+	MaxPhases int
+	// EpsilonDominance prunes profile entries that deliver no more than
+	// (1+ε)× the speedup of a strictly cheaper entry before optimizing.
+	// Demand-paced applications saturate, so the top of their profile
+	// is a plateau of performance-equivalent configurations whose
+	// measured speedups differ only by noise and interpolation error;
+	// without pruning the optimizer can chase a 1%-faster configuration
+	// that costs 30% more power. Defaults to 2% when zero; negative
+	// disables pruning.
+	EpsilonDominance float64
+}
+
+// DefaultOptions returns the paper's operating parameters for the given
+// profile table and target.
+func DefaultOptions(t *profile.Table, targetGIPS float64) Options {
+	return Options{
+		Table:      t,
+		TargetGIPS: targetGIPS,
+		CycleT:     2 * time.Second,
+		Quantum:    200 * time.Millisecond,
+		PerfPeriod: time.Second,
+		Seed:       1,
+		Pole:       0.5,
+	}
+}
+
+// cycleOverheadJ is the regulator+optimizer compute cost per control
+// cycle: <10 ms at ~25 mW average over the 2 s cycle (§V-A1).
+const cycleOverheadJ = 0.050
+
+// Controller is the online controller K plus the scheduler S of Fig. 2.
+// It implements sim.Actor at the scheduler quantum.
+type Controller struct {
+	opt     Options
+	entries []profile.Entry // sorted by ascending speedup
+	perf    *perftool.Perf
+	kf      *kalman.Filter
+
+	sPrev     float64 // speedup applied during the previous cycle
+	tracker   *PhaseTracker
+	slots     []profile.Entry
+	slotIdx   int
+	attached  bool
+	lastAlloc Allocation
+
+	// Diagnostics.
+	cycles       int
+	sumAbsErr    float64
+	lastMeasured float64
+	optWallTime  time.Duration
+}
+
+// New validates options and builds a controller.
+func New(opt Options) (*Controller, error) {
+	if opt.Table == nil {
+		return nil, fmt.Errorf("core: nil profile table")
+	}
+	if err := opt.Table.Validate(); err != nil {
+		return nil, err
+	}
+	if !(opt.TargetGIPS > 0) {
+		return nil, fmt.Errorf("core: target %v GIPS invalid", opt.TargetGIPS)
+	}
+	if opt.CycleT <= 0 || opt.Quantum <= 0 || opt.CycleT%opt.Quantum != 0 {
+		return nil, fmt.Errorf("core: cycle %v must be a positive multiple of quantum %v",
+			opt.CycleT, opt.Quantum)
+	}
+	if opt.PerfPeriod < perftool.MinSamplingPeriod {
+		return nil, fmt.Errorf("core: perf period %v below device minimum", opt.PerfPeriod)
+	}
+	if opt.Pole < 0 || opt.Pole >= 1 {
+		return nil, fmt.Errorf("core: pole %v outside [0,1)", opt.Pole)
+	}
+	if opt.CPUOnly != (opt.Table.Mode == profile.Governed) {
+		return nil, fmt.Errorf("core: CPUOnly=%v requires a matching profile mode (got %v)",
+			opt.CPUOnly, opt.Table.Mode)
+	}
+
+	b0 := opt.Table.BaseGIPS
+	kf := kalman.MustNew(math.Pow(0.02*b0, 2), math.Pow(0.05*b0, 2))
+	kf.Init(b0, math.Pow(0.2*b0, 2))
+
+	eps := opt.EpsilonDominance
+	if eps == 0 {
+		eps = 0.012
+	}
+	entries := pruneDominated(opt.Table.SortedBySpeedup(), eps)
+
+	nSlots := int(opt.CycleT / opt.Quantum)
+	c := &Controller{
+		opt:     opt,
+		entries: entries,
+		perf:    perftool.MustNew(opt.PerfPeriod, opt.Seed),
+		kf:      kf,
+		sPrev: clamp(opt.TargetGIPS/b0,
+			entries[0].Speedup, entries[len(entries)-1].Speedup),
+		slots: make([]profile.Entry, nSlots),
+	}
+	if opt.PhaseAware {
+		maxPhases := opt.MaxPhases
+		if maxPhases == 0 {
+			maxPhases = 4
+		}
+		tracker, err := NewPhaseTracker(maxPhases, 0.25)
+		if err != nil {
+			return nil, err
+		}
+		c.tracker = tracker
+	}
+
+	// Until the first measurement arrives, schedule the open-loop guess.
+	alloc, err := c.optimize(c.sPrev)
+	if err != nil {
+		return nil, err
+	}
+	c.lastAlloc = alloc
+	c.fillSlots(alloc)
+	return c, nil
+}
+
+func clamp(x, lo, hi float64) float64 { return math.Max(lo, math.Min(hi, x)) }
+
+// Install switches the relevant governors to userspace and registers the
+// perf reader and the controller on the engine. This is the programmatic
+// equivalent of the paper's `echo userspace > scaling_governor` setup.
+func (c *Controller) Install(eng *sim.Engine) error {
+	ph := eng.Phone()
+	if err := ph.FS().Write(sysfs.CPUScalingGovernor, sim.GovUserspace); err != nil {
+		return fmt.Errorf("core: set cpu governor: %w", err)
+	}
+	if !c.opt.CPUOnly {
+		if err := ph.FS().Write(sysfs.DevFreqGovernor, sim.GovUserspace); err != nil {
+			return fmt.Errorf("core: set devfreq governor: %w", err)
+		}
+	}
+	if err := eng.Register(c.perf); err != nil {
+		return err
+	}
+	if err := eng.Register(c); err != nil {
+		return err
+	}
+	c.attached = true
+	return nil
+}
+
+// Name implements sim.Actor.
+func (c *Controller) Name() string { return "aspeo-controller" }
+
+// Period implements sim.Actor: the controller wakes at every scheduler
+// quantum; the control law runs on cycle boundaries.
+func (c *Controller) Period() time.Duration { return c.opt.Quantum }
+
+// Tick implements sim.Actor.
+func (c *Controller) Tick(now time.Duration, ph *sim.Phone) {
+	if c.slotIdx == 0 {
+		c.runCycle(ph)
+	}
+	c.apply(ph, c.slots[c.slotIdx])
+	c.slotIdx = (c.slotIdx + 1) % len(c.slots)
+}
+
+// runCycle executes Eqns. (2)–(7) for one control cycle.
+func (c *Controller) runCycle(ph *sim.Phone) {
+	// The controller consumes the performance of its whole previous
+	// cycle (the paper measures twice per 2 s cycle and regulates on
+	// the cycle's performance).
+	y, ok := c.perf.MeanOver(c.opt.CycleT)
+	if ok {
+		c.lastMeasured = y
+		e := c.opt.TargetGIPS - y // Eqn. (2)
+		c.cycles++
+		c.sumAbsErr += math.Abs(e)
+
+		// Phase-aware mode: recognize the cycle's phase and resume the
+		// integrator from that phase's converged state.
+		if c.tracker != nil {
+			c.tracker.Classify(y)
+			if s, found := c.tracker.Load(); found {
+				c.sPrev = s
+			}
+		}
+
+		// Kalman update of the base speed from z = y_n / s_{n-1}
+		// (§III-B3). s_{n-1} is the speedup actually scheduled during
+		// the window — the applied allocation's expectation.
+		applied := c.lastAlloc.ExpectedSpeedup
+		if applied < 1e-9 {
+			applied = c.sPrev
+		}
+		if applied > 1e-9 {
+			if _, err := c.kf.Update(y / applied); err != nil {
+				// Non-finite measurement: skip the estimate update.
+				_ = err
+			}
+		}
+		b, _ := c.kf.Estimate()
+		if b < 1e-6 {
+			b = c.opt.Table.BaseGIPS
+		}
+		// Eqn. (3): adaptive-gain integrator with pole damping,
+		// clamped to the speedups the (pruned) table can actually
+		// deliver (anti-windup).
+		s := c.sPrev + (1-c.opt.Pole)*e/b
+		c.sPrev = clamp(s, c.entries[0].Speedup, c.entries[len(c.entries)-1].Speedup)
+		if c.tracker != nil {
+			c.tracker.Store(c.sPrev)
+		}
+	}
+
+	start := time.Now()
+	alloc, err := c.optimize(c.sPrev)
+	c.optWallTime += time.Since(start)
+	if err != nil {
+		// Keep the previous schedule; the table was validated so this
+		// only happens for pathological targets.
+		return
+	}
+	c.lastAlloc = alloc
+	c.fillSlots(alloc)
+	// Charge the regulator+optimizer compute cost (§V-A1).
+	ph.AddOverlayEnergyJ(cycleOverheadJ)
+}
+
+func (c *Controller) optimize(target float64) (Allocation, error) {
+	if c.opt.UseLP {
+		return OptimizeLP(c.entries, target, c.opt.CycleT)
+	}
+	return Optimize(c.entries, target, c.opt.CycleT)
+}
+
+// fillSlots quantizes the allocation onto the scheduler's dwell grid. The
+// low configuration runs first, then the high one — a single transition
+// per cycle, as in the paper's scheduler S.
+func (c *Controller) fillSlots(a Allocation) {
+	n := len(c.slots)
+	hiSlots := int(float64(a.TauHigh)/float64(c.opt.Quantum) + 0.5)
+	if hiSlots > n {
+		hiSlots = n
+	}
+	for i := 0; i < n; i++ {
+		if i < n-hiSlots {
+			c.slots[i] = a.Low
+		} else {
+			c.slots[i] = a.High
+		}
+	}
+}
+
+// apply actuates one slot through the sysfs userspace files.
+func (c *Controller) apply(ph *sim.Phone, e profile.Entry) {
+	s := ph.SoC()
+	khz := int(s.Freq(e.FreqIdx).GHz()*1e6 + 0.5)
+	// Errors are impossible after Install switched the governors; if
+	// someone flipped them back, the write fails and the phone simply
+	// keeps its governor-driven state.
+	_ = ph.FS().Write(sysfs.CPUScalingSetSpeed, strconv.Itoa(khz))
+	if !c.opt.CPUOnly && e.BWIdx >= 0 {
+		mbps := int(s.BW(e.BWIdx).MBps())
+		_ = ph.FS().Write(sysfs.DevFreqSetFreq, strconv.Itoa(mbps))
+	}
+}
+
+// Cycles returns how many closed-loop cycles have run.
+func (c *Controller) Cycles() int { return c.cycles }
+
+// MeanAbsError returns the mean |r − y| over all cycles, in GIPS.
+func (c *Controller) MeanAbsError() float64 {
+	if c.cycles == 0 {
+		return 0
+	}
+	return c.sumAbsErr / float64(c.cycles)
+}
+
+// LastMeasuredGIPS returns the most recent perf reading consumed.
+func (c *Controller) LastMeasuredGIPS() float64 { return c.lastMeasured }
+
+// LastAllocation returns the most recent optimizer decision.
+func (c *Controller) LastAllocation() Allocation { return c.lastAlloc }
+
+// BaseSpeedEstimate returns the Kalman filter's current base speed.
+func (c *Controller) BaseSpeedEstimate() float64 {
+	b, err := c.kf.Estimate()
+	if err != nil {
+		return c.opt.Table.BaseGIPS
+	}
+	return b
+}
+
+// CurrentSpeedupSetting returns s_{n}, the regulator's current demand.
+func (c *Controller) CurrentSpeedupSetting() float64 { return c.sPrev }
+
+// OptimizerWallTime returns the cumulative host time spent in the energy
+// optimizer (for the §V-A1 overhead reproduction).
+func (c *Controller) OptimizerWallTime() time.Duration { return c.optWallTime }
+
+// PhasesDetected returns how many phases the tracker has distinguished;
+// 0 when phase awareness is off.
+func (c *Controller) PhasesDetected() int {
+	if c.tracker == nil {
+		return 0
+	}
+	return c.tracker.Phases()
+}

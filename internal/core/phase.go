@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// PhaseTracker addresses the paper's §V-B second problem class:
+// applications with rapidly varying phases (MobileBench's page-load /
+// scroll alternation), where a single integrator state chases the phase
+// transitions instead of the load. Following the phase-classification
+// direction the paper cites ([23] Isci et al., [24] Lau et al.), the
+// tracker clusters control cycles online by their measured performance
+// signature and keeps an independent regulator state per phase: when the
+// app re-enters a known phase, the controller resumes from that phase's
+// converged speedup instead of re-learning it.
+type PhaseTracker struct {
+	maxPhases int
+	joinTol   float64 // relative distance to join an existing cluster
+	ewma      float64 // centroid adaptation rate
+
+	phases  []phaseState
+	current int
+}
+
+type phaseState struct {
+	centroid float64 // typical measured GIPS of the phase
+	visits   int
+	s        float64 // per-phase integrator state
+	hasS     bool
+}
+
+// NewPhaseTracker creates a tracker holding at most maxPhases clusters;
+// cycles whose measurement is within joinTol (relative) of a centroid
+// join that cluster.
+func NewPhaseTracker(maxPhases int, joinTol float64) (*PhaseTracker, error) {
+	if maxPhases < 1 {
+		return nil, fmt.Errorf("core: maxPhases %d invalid", maxPhases)
+	}
+	if joinTol <= 0 || joinTol >= 1 {
+		return nil, fmt.Errorf("core: joinTol %v outside (0,1)", joinTol)
+	}
+	return &PhaseTracker{maxPhases: maxPhases, joinTol: joinTol, ewma: 0.2}, nil
+}
+
+// Classify assigns the measurement to a phase (creating one if the
+// signature is new and capacity remains), updates the centroid, and
+// returns the phase index.
+func (pt *PhaseTracker) Classify(y float64) int {
+	if y <= 0 || math.IsNaN(y) || math.IsInf(y, 0) {
+		return pt.current
+	}
+	best, bestDist := -1, math.Inf(1)
+	for i, p := range pt.phases {
+		d := math.Abs(y-p.centroid) / p.centroid
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	switch {
+	case best >= 0 && bestDist <= pt.joinTol:
+		// Existing phase: adapt the centroid.
+		pt.phases[best].centroid += pt.ewma * (y - pt.phases[best].centroid)
+		pt.phases[best].visits++
+		pt.current = best
+	case len(pt.phases) < pt.maxPhases:
+		pt.phases = append(pt.phases, phaseState{centroid: y, visits: 1})
+		pt.current = len(pt.phases) - 1
+	default:
+		// Full: absorb into the nearest cluster.
+		pt.phases[best].centroid += pt.ewma * (y - pt.phases[best].centroid)
+		pt.phases[best].visits++
+		pt.current = best
+	}
+	return pt.current
+}
+
+// Load returns the stored integrator state for the current phase; ok is
+// false on first visit.
+func (pt *PhaseTracker) Load() (s float64, ok bool) {
+	if len(pt.phases) == 0 {
+		return 0, false
+	}
+	p := pt.phases[pt.current]
+	return p.s, p.hasS
+}
+
+// Store saves the integrator state into the current phase.
+func (pt *PhaseTracker) Store(s float64) {
+	if len(pt.phases) == 0 {
+		return
+	}
+	pt.phases[pt.current].s = s
+	pt.phases[pt.current].hasS = true
+}
+
+// Phases returns how many distinct phases have been observed.
+func (pt *PhaseTracker) Phases() int { return len(pt.phases) }
+
+// Current returns the index of the active phase.
+func (pt *PhaseTracker) Current() int { return pt.current }
+
+// Centroid returns the typical measured performance of phase i.
+func (pt *PhaseTracker) Centroid(i int) float64 {
+	if i < 0 || i >= len(pt.phases) {
+		return 0
+	}
+	return pt.phases[i].centroid
+}

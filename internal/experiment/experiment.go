@@ -1,0 +1,250 @@
+// Package experiment reproduces every table and figure of the paper's
+// evaluation (§V): it profiles the applications, measures the default
+// governors, runs the controller, and aggregates the comparisons the
+// paper reports. Each artifact has one entry point (Fig1, TableI …
+// TableV, Overhead) returning structured data that internal/report
+// renders.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"aspeo/internal/core"
+	"aspeo/internal/governor"
+	"aspeo/internal/perftool"
+	"aspeo/internal/profile"
+	"aspeo/internal/sim"
+	"aspeo/internal/stats"
+	"aspeo/internal/workload"
+)
+
+// Config controls an experiment campaign.
+type Config struct {
+	// Seeds for repeated runs; the paper averages three runs.
+	Seeds []int64
+	// ProfileSeeds for the offline profiling stage.
+	ProfileSeeds []int64
+	// ProfileWarmup/ProfileWindow per configuration.
+	ProfileWarmup time.Duration
+	ProfileWindow time.Duration
+	// Quick reduces fidelity (single seed, short windows) for smoke
+	// tests and benchmarks.
+	Quick bool
+}
+
+// Default returns the paper-faithful campaign configuration.
+func Default() Config {
+	return Config{
+		Seeds:         []int64{101, 202, 303},
+		ProfileSeeds:  []int64{11, 22, 33},
+		ProfileWarmup: 4 * time.Second,
+		ProfileWindow: 36 * time.Second,
+	}
+}
+
+// Quick returns a reduced-fidelity configuration: one seed and short
+// profiling windows. Result shapes hold; confidence is lower.
+func Quick() Config {
+	return Config{
+		Seeds:         []int64{101},
+		ProfileSeeds:  []int64{11},
+		ProfileWarmup: 2 * time.Second,
+		ProfileWindow: 16 * time.Second,
+		Quick:         true,
+	}
+}
+
+func (c Config) validate() error {
+	if len(c.Seeds) == 0 || len(c.ProfileSeeds) == 0 {
+		return fmt.Errorf("experiment: empty seed lists")
+	}
+	if c.ProfileWindow <= 0 {
+		return fmt.Errorf("experiment: non-positive profile window")
+	}
+	return nil
+}
+
+func (c Config) profileOptions(load workload.BGLoad, mode profile.BWMode) profile.Options {
+	return profile.Options{
+		Load:   load,
+		Mode:   mode,
+		Seeds:  c.ProfileSeeds,
+		Warmup: c.ProfileWarmup,
+		Window: c.ProfileWindow,
+	}
+}
+
+// RunResult aggregates one measurement condition over the seed set.
+type RunResult struct {
+	EnergyJ     float64 // mean
+	AvgPowerW   float64
+	PeakPowerW  float64
+	GIPS        float64
+	RuntimeSec  float64
+	EnergyStd   float64
+	CPUResidPct []float64 // last run's CPU-frequency residency (percent)
+	BWResidPct  []float64 // last run's bandwidth residency (percent)
+	FreqChanges int
+	BWChanges   int
+}
+
+// runOne executes one run of spec under the given installer and returns
+// stats plus the phone for residency extraction.
+func runOne(spec *workload.Spec, load workload.BGLoad, seed int64,
+	install func(*sim.Engine) error) (sim.Stats, *sim.Phone, error) {
+
+	ph, err := sim.NewPhone(sim.Config{
+		Foreground: spec, Load: load, Seed: seed, ScreenOn: true, WiFiOn: true,
+	})
+	if err != nil {
+		return sim.Stats{}, nil, err
+	}
+	eng := sim.NewEngine(ph)
+	if err := install(eng); err != nil {
+		return sim.Stats{}, nil, err
+	}
+	var st sim.Stats
+	if spec.DeadlineCritical {
+		// Deadline apps run to completion (bounded by 3× the nominal
+		// session for pathological configurations).
+		st = eng.Run(spec.RunFor*3, true)
+	} else {
+		st = eng.Run(spec.RunFor, false)
+	}
+	return st, ph, nil
+}
+
+// aggregate folds per-seed stats into a RunResult.
+func aggregate(stats_ []sim.Stats, lastPh *sim.Phone) RunResult {
+	var e, p, pk, g, t []float64
+	for _, st := range stats_ {
+		e = append(e, st.EnergyJ)
+		p = append(p, st.AvgPowerW)
+		pk = append(pk, st.PeakPowerW)
+		g = append(g, st.GIPS)
+		t = append(t, st.Duration.Seconds())
+	}
+	rr := RunResult{
+		EnergyJ:    stats.Mean(e),
+		AvgPowerW:  stats.Mean(p),
+		PeakPowerW: stats.Max(pk),
+		GIPS:       stats.Mean(g),
+		RuntimeSec: stats.Mean(t),
+		EnergyStd:  stats.StdDev(e),
+	}
+	if lastPh != nil {
+		rr.CPUResidPct = lastPh.CPUHistogram().Percents()
+		rr.BWResidPct = lastPh.BWHistogram().Percents()
+		rr.FreqChanges = lastPh.FreqChanges()
+		rr.BWChanges = lastPh.BWChanges()
+	}
+	return rr
+}
+
+// MeasureDefault runs the app under the stock governors (interactive +
+// cpubw_hwmon) with perf attached — the paper's R_def / T_def / P_def /
+// E_def measurement (§III-A).
+func (c Config) MeasureDefault(spec *workload.Spec, load workload.BGLoad) (RunResult, error) {
+	if err := c.validate(); err != nil {
+		return RunResult{}, err
+	}
+	var all []sim.Stats
+	var last *sim.Phone
+	for _, seed := range c.Seeds {
+		st, ph, err := runOne(spec, load, seed, func(eng *sim.Engine) error {
+			governor.Defaults(eng)
+			return eng.Register(perftool.MustNew(time.Second, seed))
+		})
+		if err != nil {
+			return RunResult{}, err
+		}
+		all = append(all, st)
+		last = ph
+	}
+	return aggregate(all, last), nil
+}
+
+// RunController runs the app under the energy controller with the given
+// profile table and target.
+func (c Config) RunController(spec *workload.Spec, tab *profile.Table,
+	targetGIPS float64, load workload.BGLoad, cpuOnly bool) (RunResult, error) {
+
+	if err := c.validate(); err != nil {
+		return RunResult{}, err
+	}
+	var all []sim.Stats
+	var last *sim.Phone
+	for _, seed := range c.Seeds {
+		st, ph, err := runOne(spec, load, seed, func(eng *sim.Engine) error {
+			opts := core.DefaultOptions(tab, targetGIPS)
+			opts.Seed = seed
+			opts.CPUOnly = cpuOnly
+			ctl, err := core.New(opts)
+			if err != nil {
+				return err
+			}
+			if cpuOnly {
+				// The bandwidth stays under its default governor.
+				eng.MustRegister(governor.NewDevFreq())
+			}
+			return ctl.Install(eng)
+		})
+		if err != nil {
+			return RunResult{}, err
+		}
+		all = append(all, st)
+		last = ph
+	}
+	return aggregate(all, last), nil
+}
+
+// Comparison is one row of Tables III/IV/V: controller vs default.
+type Comparison struct {
+	App     string
+	Load    workload.BGLoad
+	Default RunResult
+	Ctl     RunResult
+	// PerfDeltaPct follows the paper's convention: positive = the
+	// controller performed better. Deadline-critical apps compare
+	// execution time; the rest compare GIPS.
+	PerfDeltaPct float64
+	// EnergySavingsPct is 100·(E_def − E_ctl)/E_def.
+	EnergySavingsPct float64
+}
+
+func compare(spec *workload.Spec, load workload.BGLoad, def, ctl RunResult) Comparison {
+	var perf float64
+	if spec.DeadlineCritical {
+		perf = stats.PctDelta(1/ctl.RuntimeSec, 1/def.RuntimeSec)
+	} else {
+		perf = stats.PctDelta(ctl.GIPS, def.GIPS)
+	}
+	return Comparison{
+		App: spec.Name, Load: load, Default: def, Ctl: ctl,
+		PerfDeltaPct:     perf,
+		EnergySavingsPct: stats.Savings(ctl.EnergyJ, def.EnergyJ),
+	}
+}
+
+// Evaluate profiles the app under BL, measures the default under `load`,
+// and runs the controller against the default's performance. This is the
+// paper's end-to-end protocol for one (app, load) cell.
+func (c Config) Evaluate(spec *workload.Spec, tab *profile.Table,
+	targetGIPS float64, load workload.BGLoad, cpuOnly bool) (Comparison, error) {
+
+	def, err := c.MeasureDefault(spec, load)
+	if err != nil {
+		return Comparison{}, err
+	}
+	ctl, err := c.RunController(spec, tab, targetGIPS, load, cpuOnly)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return compare(spec, load, def, ctl), nil
+}
+
+// Profile runs the offline profiling stage for the app.
+func (c Config) Profile(spec *workload.Spec, load workload.BGLoad, mode profile.BWMode) (*profile.Table, error) {
+	return profile.Run(spec, c.profileOptions(load, mode))
+}

@@ -1,0 +1,169 @@
+package experiment
+
+import (
+	"testing"
+
+	"aspeo/internal/profile"
+	"aspeo/internal/workload"
+)
+
+// The experiment tests run the Quick configuration: single seed, short
+// windows. They verify the paper's qualitative claims end to end; the
+// full-fidelity numbers live in EXPERIMENTS.md and the benchmarks.
+
+func TestConfigValidation(t *testing.T) {
+	c := Quick()
+	c.Seeds = nil
+	if _, err := c.MeasureDefault(workload.Spotify(), workload.NoLoad); err == nil {
+		t.Fatal("empty seeds accepted")
+	}
+	c = Quick()
+	c.ProfileWindow = 0
+	if err := c.validate(); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestMeasureDefaultProducesSaneNumbers(t *testing.T) {
+	c := Quick()
+	def, err := c.MeasureDefault(workload.Spotify(), workload.BaselineLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.EnergyJ <= 0 || def.AvgPowerW < 1 || def.AvgPowerW > 6 {
+		t.Fatalf("implausible default run: %+v", def)
+	}
+	if def.GIPS <= 0 || def.RuntimeSec <= 0 {
+		t.Fatalf("missing metrics: %+v", def)
+	}
+	if len(def.CPUResidPct) != 18 || len(def.BWResidPct) != 13 {
+		t.Fatalf("residency shapes wrong: %d/%d", len(def.CPUResidPct), len(def.BWResidPct))
+	}
+}
+
+func TestEvaluateHeadlineClaim(t *testing.T) {
+	// The paper's core claim on one app: the controller saves energy at
+	// comparable performance.
+	c := Quick()
+	spec := workload.Spotify()
+	tab, err := c.Profile(spec, workload.BaselineLoad, profile.Coordinated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := c.MeasureDefault(spec, workload.BaselineLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := c.Evaluate(spec, tab, def.GIPS, workload.BaselineLoad, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.EnergySavingsPct <= 0 {
+		t.Fatalf("controller did not save energy: %+v", cmp)
+	}
+	if cmp.PerfDeltaPct < -8 {
+		t.Fatalf("performance loss %.1f%% far beyond the paper's envelope", cmp.PerfDeltaPct)
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	c := Quick()
+	r, err := c.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.ResidencyPct) != 18 {
+		t.Fatalf("Fig1 buckets = %d", len(r.ResidencyPct))
+	}
+	sum := 0.0
+	for _, p := range r.ResidencyPct {
+		sum += p
+	}
+	if sum < 99.9 || sum > 100.1 {
+		t.Fatalf("residency sums to %.2f%%", sum)
+	}
+	// The paper's headline observation: even with no interaction the
+	// default governor spends significant time at frequency 10.
+	if r.ResidencyPct[9] < 5 {
+		t.Fatalf("frequency-10 residency %.1f%%, want the paper's >10%% shape", r.ResidencyPct[9])
+	}
+}
+
+func TestTableIShape(t *testing.T) {
+	c := Quick()
+	r, err := c.TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Table.App != workload.NameAngryBirds {
+		t.Fatalf("Table I app = %s", r.Table.App)
+	}
+	// 5 profiled freqs × 13 bandwidths.
+	if r.Table.Len() != 65 {
+		t.Fatalf("Table I rows = %d", r.Table.Len())
+	}
+	// Base speed anchor: 0.129 GIPS ± 15%.
+	if r.Table.BaseGIPS < 0.10 || r.Table.BaseGIPS > 0.15 {
+		t.Fatalf("base speed %.4f outside the paper's neighbourhood", r.Table.BaseGIPS)
+	}
+}
+
+func TestTableIIExact(t *testing.T) {
+	r := TableII()
+	if len(r.SoC.CPUFreqs) != 18 || len(r.SoC.MemBWs) != 13 {
+		t.Fatal("Table II ladders wrong")
+	}
+}
+
+func TestOverheadNumbers(t *testing.T) {
+	c := Quick()
+	r, err := c.Overhead(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PerfCPUOverheadPct < 3.9 || r.PerfCPUOverheadPct > 4.1 {
+		t.Fatalf("perf overhead %.2f%%, paper says 4%%", r.PerfCPUOverheadPct)
+	}
+	if r.PerfPowerOverheadW < 0.014 || r.PerfPowerOverheadW > 0.016 {
+		t.Fatalf("perf power %.4f W, paper says 15 mW", r.PerfPowerOverheadW)
+	}
+	if r.OptimizerTimePerCycle <= 0 || r.OptimizerTimePerCycle > 10e6 {
+		t.Fatalf("optimizer per cycle %v, paper bound is 10 ms", r.OptimizerTimePerCycle)
+	}
+	if r.Cycles == 0 {
+		t.Fatal("no cycles observed")
+	}
+}
+
+func TestFig4Fig5Extraction(t *testing.T) {
+	rows := []Comparison{{
+		App:     "x",
+		Default: RunResult{CPUResidPct: []float64{1, 2}, BWResidPct: []float64{3}},
+		Ctl:     RunResult{CPUResidPct: []float64{4, 5}, BWResidPct: []float64{6}},
+	}}
+	res := &TableIIIResult{Rows: rows}
+	f4 := Fig4(res)
+	if len(f4) != 1 || f4[0].Def[0] != 1 || f4[0].Ctl[1] != 5 {
+		t.Fatalf("Fig4 extraction wrong: %+v", f4)
+	}
+	f5 := Fig5(res)
+	if len(f5) != 1 || f5[0].Def[0] != 3 || f5[0].Ctl[0] != 6 {
+		t.Fatalf("Fig5 extraction wrong: %+v", f5)
+	}
+}
+
+func TestTableVExtraEnergyAggregate(t *testing.T) {
+	r := &TableVResult{
+		Coordinated: []Comparison{
+			{App: "a", Ctl: RunResult{EnergyJ: 100}},
+			{App: workload.NameMXPlayer, Ctl: RunResult{EnergyJ: 100}},
+		},
+		Rows: []Comparison{
+			{App: "a", Ctl: RunResult{EnergyJ: 120}},
+			{App: workload.NameMXPlayer, Ctl: RunResult{EnergyJ: 500}}, // excluded
+		},
+	}
+	if got := r.ExtraEnergyVsCoordinatedPct(); got != 20 {
+		t.Fatalf("extra energy = %v, want 20 (MX Player excluded)", got)
+	}
+}

@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"testing"
+
+	"aspeo/internal/workload"
+)
+
+func TestBatteryLifeTranslation(t *testing.T) {
+	res := &TableIIIResult{Rows: []Comparison{{
+		App:     workload.NameSpotify,
+		Default: RunResult{AvgPowerW: 2.0},
+		Ctl:     RunResult{AvgPowerW: 1.6},
+	}}}
+	rows, err := BatteryLife(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.ControllerLife <= r.DefaultLife {
+		t.Fatalf("lower power must extend life: %v vs %v", r.ControllerLife, r.DefaultLife)
+	}
+	// 20% lower power → at least 20% more life (I²R compounds it).
+	if r.LifeExtensionPct < 20 {
+		t.Fatalf("life extension %.1f%% below the power savings", r.LifeExtensionPct)
+	}
+}
+
+func TestBatteryLifeRejectsZeroPower(t *testing.T) {
+	res := &TableIIIResult{Rows: []Comparison{{
+		App: "x", Default: RunResult{AvgPowerW: 0}, Ctl: RunResult{AvgPowerW: 1},
+	}}}
+	if _, err := BatteryLife(res); err == nil {
+		t.Fatal("zero power accepted")
+	}
+}
+
+func TestPhaseStudy(t *testing.T) {
+	r, err := Quick().PhaseStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.App != workload.NameMobileBench {
+		t.Fatalf("phase study app = %s", r.App)
+	}
+	if r.PhasesDetected < 2 {
+		t.Fatalf("detected %d phases on MobileBench, want >= 2", r.PhasesDetected)
+	}
+}
+
+func TestThermalStudy(t *testing.T) {
+	r, err := Quick().ThermalStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DefaultPeakC <= 25 || r.CtlPeakC <= 25 {
+		t.Fatalf("peaks never rose above ambient: %+v", r)
+	}
+	// The controller's lower operating point must not run hotter.
+	if r.CtlPeakC > r.DefaultPeakC+0.5 {
+		t.Fatalf("controller ran hotter: %.1f vs %.1f", r.CtlPeakC, r.DefaultPeakC)
+	}
+	if r.CtlThrot > r.DefaultThrot {
+		t.Fatalf("controller throttled longer: %v vs %v", r.CtlThrot, r.DefaultThrot)
+	}
+}
+
+func TestLoadModelStudy(t *testing.T) {
+	r, err := Quick().LoadModelStudy(workload.Spotify())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three variants must produce a working controller run.
+	for name, cmp := range map[string]Comparison{
+		"stale": r.Stale, "adapted": r.Adapted, "reprofiled": r.Reprofiled,
+	} {
+		if cmp.Ctl.EnergyJ <= 0 {
+			t.Fatalf("%s variant produced no energy measurement", name)
+		}
+		if cmp.PerfDeltaPct < -15 {
+			t.Fatalf("%s variant lost %.1f%% performance", name, cmp.PerfDeltaPct)
+		}
+	}
+}

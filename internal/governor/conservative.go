@@ -1,0 +1,67 @@
+package governor
+
+import (
+	"time"
+
+	"aspeo/internal/sim"
+)
+
+// ConservativeTunables configure the conservative cpufreq governor — the
+// classic kernel policy that steps the frequency gradually instead of
+// jumping, designed for battery-sensitive devices.
+type ConservativeTunables struct {
+	SamplingRate  time.Duration
+	UpThreshold   float64 // load above which the frequency steps up
+	DownThreshold float64 // load below which the frequency steps down
+	FreqStep      int     // ladder steps per adjustment
+}
+
+// DefaultConservative mirrors the kernel defaults (up 80 / down 20,
+// 5%-of-range steps ≈ one ladder rung on an 18-step ladder).
+func DefaultConservative() ConservativeTunables {
+	return ConservativeTunables{
+		SamplingRate:  60 * time.Millisecond,
+		UpThreshold:   0.80,
+		DownThreshold: 0.20,
+		FreqStep:      1,
+	}
+}
+
+type conservative struct {
+	tun         ConservativeTunables
+	lastBusy    float64
+	lastTime    time.Duration
+	nextSample  time.Duration
+	initialized bool
+}
+
+func newConservative(tun ConservativeTunables) *conservative {
+	return &conservative{tun: tun}
+}
+
+func (g *conservative) tick(now time.Duration, ph *sim.Phone) {
+	if now < g.nextSample {
+		return
+	}
+	g.nextSample = now + g.tun.SamplingRate
+	busy := ph.CumMachineBusySec()
+	if !g.initialized {
+		g.initialized = true
+		g.lastBusy, g.lastTime = busy, now
+		return
+	}
+	elapsed := (now - g.lastTime).Seconds()
+	if elapsed <= 0 {
+		return
+	}
+	load := (busy - g.lastBusy) / elapsed
+	g.lastBusy, g.lastTime = busy, now
+
+	cur := ph.CurFreqIdx()
+	switch {
+	case load >= g.tun.UpThreshold:
+		ph.SetFreqIdx(cur + g.tun.FreqStep)
+	case load <= g.tun.DownThreshold:
+		ph.SetFreqIdx(cur - g.tun.FreqStep)
+	}
+}

@@ -1,0 +1,261 @@
+// Package governor re-implements the stock Android/Linux DVFS governors
+// that the paper compares against: the cpufreq governors `interactive`
+// (the Android default), `ondemand`, `performance`, `powersave` and
+// `userspace`, and the devfreq bandwidth governor `cpubw_hwmon` with its
+// exponential back-off (paper §II-A, §V-A).
+//
+// Each governor is implemented from its documented algorithm and runs
+// against the simulated phone through the same observation surface the
+// kernel uses (busy-time counters, memory traffic counters, input
+// events), while dispatch follows the sysfs `scaling_governor` /
+// `governor` files so experiments can switch policies exactly as the
+// paper does.
+package governor
+
+import (
+	"time"
+
+	"aspeo/internal/sim"
+	"aspeo/internal/soc"
+	"aspeo/internal/sysfs"
+)
+
+// InteractiveTunables are the interactive governor's knobs, named after
+// the sysfs tunables of the real driver.
+type InteractiveTunables struct {
+	TimerRate        time.Duration // load evaluation period
+	GoHispeedLoad    float64       // load that triggers the hispeed jump
+	HispeedFreqIdx   int           // ladder index of hispeed_freq
+	AboveHispeedWait time.Duration // dwell before climbing past hispeed
+	MinSampleTime    time.Duration // dwell before any down-step
+	TargetLoad       float64       // steady-state load the governor aims at
+	InputBoost       time.Duration // floor at hispeed after a touch event
+}
+
+// DefaultInteractive returns tunables matching the Nexus 6 shipping
+// configuration: hispeed_freq is ladder step 10 (1.4976 GHz) — the very
+// frequency the paper finds the default governor parked at for
+// 12.7–27.9% of every app's runtime.
+func DefaultInteractive() InteractiveTunables {
+	return InteractiveTunables{
+		TimerRate:        20 * time.Millisecond,
+		GoHispeedLoad:    0.85,
+		HispeedFreqIdx:   9,
+		AboveHispeedWait: 80 * time.Millisecond,
+		MinSampleTime:    150 * time.Millisecond,
+		TargetLoad:       0.85,
+		InputBoost:       200 * time.Millisecond,
+	}
+}
+
+// interactive is the per-policy state of the interactive algorithm.
+type interactive struct {
+	tun InteractiveTunables
+
+	lastBusy    float64
+	lastTime    time.Duration
+	floorUntil  time.Duration // no down-steps before this
+	boostUntil  time.Duration // input boost active until this
+	hispeedTime time.Duration // when we arrived at/above hispeed
+	initialized bool
+}
+
+func newInteractive(tun InteractiveTunables) *interactive {
+	return &interactive{tun: tun}
+}
+
+// tick runs one evaluation of the interactive algorithm.
+func (g *interactive) tick(now time.Duration, ph *sim.Phone) {
+	busy := ph.CumMachineBusySec()
+	if !g.initialized {
+		g.initialized = true
+		g.lastBusy, g.lastTime = busy, now
+		g.publishTunables(ph)
+		return
+	}
+	g.loadTunables(ph)
+	elapsed := (now - g.lastTime).Seconds()
+	if elapsed <= 0 {
+		return
+	}
+	load := (busy - g.lastBusy) / elapsed
+	g.lastBusy, g.lastTime = busy, now
+	if load < 0 {
+		load = 0
+	}
+	if load > 1 {
+		load = 1
+	}
+
+	if ph.TakeTouches() > 0 {
+		g.boostUntil = now + g.tun.InputBoost
+	}
+
+	cur := ph.CurFreqIdx()
+	s := ph.SoC()
+	maxIdx := len(s.CPUFreqs) - 1
+
+	// Frequency that would put the load at TargetLoad.
+	curGHz := s.Freq(cur).GHz()
+	wantGHz := curGHz * load / g.tun.TargetLoad
+	target := s.NearestFreqIdx(freqFromGHz(wantGHz))
+
+	// Hispeed jump: heavy load below hispeed jumps straight there.
+	if load >= g.tun.GoHispeedLoad && cur < g.tun.HispeedFreqIdx {
+		target = g.tun.HispeedFreqIdx
+	}
+	// Climbing past hispeed is gated: each further step up waits out
+	// above_hispeed_delay, so the governor walks the upper ladder a
+	// couple of steps at a time rather than leaping to the maximum.
+	// This staircase is what populates the mid-frequency buckets of the
+	// paper's Figure 4 histograms.
+	if target > g.tun.HispeedFreqIdx && cur >= g.tun.HispeedFreqIdx {
+		if now-g.hispeedTime < g.tun.AboveHispeedWait {
+			target = cur
+		} else if target > cur+2 {
+			target = cur + 2
+		}
+	}
+	if target > maxIdx {
+		target = maxIdx
+	}
+
+	// Input boost floors the frequency at hispeed.
+	if now < g.boostUntil && target < g.tun.HispeedFreqIdx {
+		target = g.tun.HispeedFreqIdx
+	}
+
+	switch {
+	case target > cur:
+		ph.SetFreqIdx(target)
+		g.floorUntil = now + g.tun.MinSampleTime
+		if target >= g.tun.HispeedFreqIdx {
+			g.hispeedTime = now
+		}
+	case target < cur:
+		// Down-steps wait out min_sample_time (the floor timer).
+		if now >= g.floorUntil {
+			ph.SetFreqIdx(target)
+			g.floorUntil = now + g.tun.MinSampleTime
+		}
+	}
+}
+
+// OndemandTunables configure the ondemand governor.
+type OndemandTunables struct {
+	SamplingRate time.Duration
+	UpThreshold  float64 // load that jumps to max frequency
+	DownFactor   float64 // proportional scaling target when below threshold
+}
+
+// DefaultOndemand mirrors the classic kernel defaults (sampling tuned to
+// the simulator's 20 ms governor clock).
+func DefaultOndemand() OndemandTunables {
+	return OndemandTunables{
+		SamplingRate: 60 * time.Millisecond,
+		UpThreshold:  0.90,
+		DownFactor:   0.80,
+	}
+}
+
+type ondemand struct {
+	tun         OndemandTunables
+	lastBusy    float64
+	lastTime    time.Duration
+	nextSample  time.Duration
+	initialized bool
+}
+
+func newOndemand(tun OndemandTunables) *ondemand {
+	return &ondemand{tun: tun}
+}
+
+func (g *ondemand) tick(now time.Duration, ph *sim.Phone) {
+	if now < g.nextSample {
+		return
+	}
+	g.nextSample = now + g.tun.SamplingRate
+	busy := ph.CumMachineBusySec()
+	if !g.initialized {
+		g.initialized = true
+		g.lastBusy, g.lastTime = busy, now
+		return
+	}
+	elapsed := (now - g.lastTime).Seconds()
+	if elapsed <= 0 {
+		return
+	}
+	load := (busy - g.lastBusy) / elapsed
+	g.lastBusy, g.lastTime = busy, now
+
+	s := ph.SoC()
+	if load >= g.tun.UpThreshold {
+		// Ondemand's signature move: straight to the maximum.
+		ph.SetFreqIdx(len(s.CPUFreqs) - 1)
+		return
+	}
+	cur := ph.CurFreqIdx()
+	wantGHz := s.Freq(cur).GHz() * load / g.tun.DownFactor
+	ph.SetFreqIdx(s.NearestFreqIdx(freqFromGHz(wantGHz)))
+}
+
+// CPUFreq is the cpufreq policy engine: it dispatches to whichever
+// governor the sysfs scaling_governor file names, mirroring how the
+// kernel switches policies.
+type CPUFreq struct {
+	interactive  *interactive
+	ondemand     *ondemand
+	conservative *conservative
+	period       time.Duration
+}
+
+// NewCPUFreq builds the policy engine with default tunables.
+func NewCPUFreq() *CPUFreq {
+	return NewCPUFreqTuned(DefaultInteractive(), DefaultOndemand())
+}
+
+// NewCPUFreqTuned builds the policy engine with explicit tunables.
+func NewCPUFreqTuned(it InteractiveTunables, ot OndemandTunables) *CPUFreq {
+	return &CPUFreq{
+		interactive:  newInteractive(it),
+		ondemand:     newOndemand(ot),
+		conservative: newConservative(DefaultConservative()),
+		period:       20 * time.Millisecond,
+	}
+}
+
+// Name implements sim.Actor.
+func (c *CPUFreq) Name() string { return "cpufreq" }
+
+// Period implements sim.Actor.
+func (c *CPUFreq) Period() time.Duration { return c.period }
+
+// Tick dispatches to the active governor.
+func (c *CPUFreq) Tick(now time.Duration, ph *sim.Phone) {
+	gov, err := ph.FS().Read(sysfs.CPUScalingGovernor)
+	if err != nil {
+		return
+	}
+	switch gov {
+	case sim.GovInteractive:
+		c.interactive.tick(now, ph)
+	case sim.GovOndemand:
+		c.ondemand.tick(now, ph)
+	case sim.GovConservative:
+		c.conservative.tick(now, ph)
+	case sim.GovPerformance:
+		ph.SetFreqIdx(len(ph.SoC().CPUFreqs) - 1)
+	case sim.GovPowersave:
+		ph.SetFreqIdx(0)
+	case sim.GovUserspace:
+		// The userspace governor does nothing on its own; frequency
+		// comes from scaling_setspeed writes.
+	}
+}
+
+// freqFromGHz converts a GHz value to the soc.Freq the ladder lookup
+// expects.
+func freqFromGHz(g float64) soc.Freq { return soc.Freq(g) }
+
+// khzToFreq converts a cpufreq kHz value to a ladder frequency.
+func khzToFreq(khz int) soc.Freq { return soc.Freq(float64(khz) / 1e6) }

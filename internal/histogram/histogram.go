@@ -1,0 +1,107 @@
+// Package histogram accumulates residency histograms: the percentage of
+// time the device spends at each CPU frequency or memory bandwidth index.
+// These are the quantities plotted in the paper's Figures 1, 4 and 5.
+package histogram
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Residency tracks time spent per ladder index.
+type Residency struct {
+	name    string
+	buckets []time.Duration
+	total   time.Duration
+}
+
+// New creates a residency histogram with n ladder steps.
+func New(name string, n int) *Residency {
+	if n <= 0 {
+		panic(fmt.Sprintf("histogram: %d buckets", n))
+	}
+	return &Residency{name: name, buckets: make([]time.Duration, n)}
+}
+
+// Name returns the histogram's label.
+func (r *Residency) Name() string { return r.name }
+
+// Len returns the number of ladder steps.
+func (r *Residency) Len() int { return len(r.buckets) }
+
+// Add accounts dt of residency at ladder index idx. Out-of-range indices
+// panic: they indicate a simulator bug, not bad input.
+func (r *Residency) Add(idx int, dt time.Duration) {
+	if idx < 0 || idx >= len(r.buckets) {
+		panic(fmt.Sprintf("histogram %s: index %d out of %d", r.name, idx, len(r.buckets)))
+	}
+	if dt <= 0 {
+		return
+	}
+	r.buckets[idx] += dt
+	r.total += dt
+}
+
+// Total returns the accumulated observation time.
+func (r *Residency) Total() time.Duration { return r.total }
+
+// Percent returns the share of time at index idx, in percent of the
+// total observation time (0 if nothing was observed).
+func (r *Residency) Percent(idx int) float64 {
+	if r.total == 0 {
+		return 0
+	}
+	return 100 * float64(r.buckets[idx]) / float64(r.total)
+}
+
+// Percents returns the full distribution in percent.
+func (r *Residency) Percents() []float64 {
+	out := make([]float64, len(r.buckets))
+	for i := range r.buckets {
+		out[i] = r.Percent(i)
+	}
+	return out
+}
+
+// ArgMax returns the index with the largest residency.
+func (r *Residency) ArgMax() int {
+	best := 0
+	for i := range r.buckets {
+		if r.buckets[i] > r.buckets[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// TopShare returns the combined share (percent) of the k highest ladder
+// indices; e.g. TopShare(1) is residency at the maximum frequency.
+func (r *Residency) TopShare(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	s := 0.0
+	for i := len(r.buckets) - k; i < len(r.buckets); i++ {
+		if i >= 0 {
+			s += r.Percent(i)
+		}
+	}
+	return s
+}
+
+// Render draws the histogram as ASCII art, one row per ladder index
+// (1-based labels, like the paper's figures).
+func (r *Residency) Render(width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (total %.1fs)\n", r.name, r.total.Seconds())
+	for i := range r.buckets {
+		pct := r.Percent(i)
+		bar := strings.Repeat("#", int(pct/100*float64(width)+0.5))
+		fmt.Fprintf(&b, "%3d |%-*s| %5.1f%%\n", i+1, width, bar, pct)
+	}
+	return b.String()
+}

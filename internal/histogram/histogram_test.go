@@ -1,0 +1,131 @@
+package histogram
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBasicResidency(t *testing.T) {
+	r := New("cpu", 18)
+	r.Add(0, 3*time.Second)
+	r.Add(9, 1*time.Second)
+	if got := r.Total(); got != 4*time.Second {
+		t.Fatalf("Total = %v", got)
+	}
+	if got := r.Percent(0); math.Abs(got-75) > 1e-9 {
+		t.Fatalf("Percent(0) = %v", got)
+	}
+	if got := r.Percent(9); math.Abs(got-25) > 1e-9 {
+		t.Fatalf("Percent(9) = %v", got)
+	}
+	if got := r.Percent(5); got != 0 {
+		t.Fatalf("Percent(5) = %v", got)
+	}
+}
+
+func TestPercentsSumTo100(t *testing.T) {
+	r := New("cpu", 13)
+	for i := 0; i < 13; i++ {
+		r.Add(i, time.Duration(i+1)*time.Millisecond)
+	}
+	sum := 0.0
+	for _, p := range r.Percents() {
+		sum += p
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Fatalf("percents sum to %v", sum)
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	r := New("empty", 5)
+	if got := r.Percent(2); got != 0 {
+		t.Fatalf("empty Percent = %v", got)
+	}
+	if got := r.TopShare(2); got != 0 {
+		t.Fatalf("empty TopShare = %v", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	r := New("x", 3)
+	for _, idx := range []int{-1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(%d) should panic", idx)
+				}
+			}()
+			r.Add(idx, time.Second)
+		}()
+	}
+}
+
+func TestZeroBucketsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) should panic")
+		}
+	}()
+	New("x", 0)
+}
+
+func TestNonPositiveDurationIgnored(t *testing.T) {
+	r := New("x", 3)
+	r.Add(1, 0)
+	r.Add(1, -time.Second)
+	if r.Total() != 0 {
+		t.Fatal("non-positive durations should be ignored")
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	r := New("x", 4)
+	r.Add(1, time.Second)
+	r.Add(3, 2*time.Second)
+	if got := r.ArgMax(); got != 3 {
+		t.Fatalf("ArgMax = %d", got)
+	}
+}
+
+func TestTopShare(t *testing.T) {
+	r := New("x", 4)
+	r.Add(0, time.Second)
+	r.Add(2, time.Second)
+	r.Add(3, 2*time.Second)
+	if got := r.TopShare(1); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("TopShare(1) = %v", got)
+	}
+	if got := r.TopShare(2); math.Abs(got-75) > 1e-9 {
+		t.Fatalf("TopShare(2) = %v", got)
+	}
+	if got := r.TopShare(0); got != 0 {
+		t.Fatalf("TopShare(0) = %v", got)
+	}
+	// k larger than bucket count covers everything.
+	if got := r.TopShare(99); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("TopShare(99) = %v", got)
+	}
+}
+
+func TestRender(t *testing.T) {
+	r := New("cpu frequencies", 3)
+	r.Add(0, time.Second)
+	r.Add(2, 3*time.Second)
+	out := r.Render(20)
+	if !strings.Contains(out, "cpu frequencies") {
+		t.Fatalf("render missing name:\n%s", out)
+	}
+	if !strings.Contains(out, "75.0%") || !strings.Contains(out, "25.0%") {
+		t.Fatalf("render missing percentages:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 4 {
+		t.Fatalf("render has %d lines, want 4:\n%s", lines, out)
+	}
+	// Default width path.
+	if out := r.Render(0); !strings.Contains(out, "#") {
+		t.Fatalf("default width render:\n%s", out)
+	}
+}

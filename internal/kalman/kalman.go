@@ -1,0 +1,126 @@
+// Package kalman implements the scalar Kalman filter the controller uses
+// to track an application's base speed (paper §III-B3, following POET).
+//
+// The state is the base speed b_n — the application speed at the lowest
+// system configuration. The process model is a random walk
+//
+//	b_n = b_{n-1} + w_n,        w_n ~ N(0, Q)
+//
+// and the measurement is the observed performance divided by the speedup
+// that was applied during the cycle:
+//
+//	z_n = y_n / s_{n-1} = b_n + v_n,   v_n ~ N(0, R)
+//
+// which is exactly how POET folds the multiplicative performance model
+// y = s·b into a linear observation.
+package kalman
+
+import (
+	"errors"
+	"math"
+)
+
+// Filter is a one-dimensional Kalman filter. The zero value is not usable;
+// construct with New.
+type Filter struct {
+	q float64 // process noise variance
+	r float64 // measurement noise variance
+
+	x float64 // state estimate
+	p float64 // estimate variance
+
+	initialized bool
+	steps       int
+	lastGain    float64
+}
+
+// Errors returned by Filter methods.
+var (
+	ErrBadVariance   = errors.New("kalman: variances must be positive and finite")
+	ErrBadMeasure    = errors.New("kalman: measurement must be finite")
+	ErrUninitialized = errors.New("kalman: filter not initialized")
+)
+
+// New creates a filter with process noise variance q and measurement noise
+// variance r. Typical controller values are q ≈ (1% of base speed)² and
+// r ≈ (5% of base speed)².
+func New(q, r float64) (*Filter, error) {
+	if !(q > 0) || !(r > 0) || math.IsInf(q, 0) || math.IsInf(r, 0) {
+		return nil, ErrBadVariance
+	}
+	return &Filter{q: q, r: r}, nil
+}
+
+// MustNew is New but panics on invalid parameters; for use in tests and
+// package-internal constants.
+func MustNew(q, r float64) *Filter {
+	f, err := New(q, r)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Init seeds the state estimate. p0 is the initial estimate variance; it
+// should reflect how much the seed is trusted (large when the seed is a
+// guess).
+func (f *Filter) Init(x0, p0 float64) {
+	f.x = x0
+	f.p = math.Abs(p0)
+	f.initialized = true
+	f.steps = 0
+}
+
+// Initialized reports whether Init or a first Update has run.
+func (f *Filter) Initialized() bool { return f.initialized }
+
+// Update folds in a new measurement z and returns the posterior state
+// estimate. If the filter has not been initialized, the first measurement
+// initializes it with a large prior variance.
+func (f *Filter) Update(z float64) (float64, error) {
+	if math.IsNaN(z) || math.IsInf(z, 0) {
+		return f.x, ErrBadMeasure
+	}
+	if !f.initialized {
+		f.Init(z, 100*f.r)
+		f.steps = 1
+		return f.x, nil
+	}
+	// Predict.
+	pPred := f.p + f.q
+	// Update.
+	k := pPred / (pPred + f.r)
+	f.x += k * (z - f.x)
+	f.p = (1 - k) * pPred
+	f.lastGain = k
+	f.steps++
+	return f.x, nil
+}
+
+// Estimate returns the current state estimate.
+func (f *Filter) Estimate() (float64, error) {
+	if !f.initialized {
+		return 0, ErrUninitialized
+	}
+	return f.x, nil
+}
+
+// Variance returns the current estimate variance.
+func (f *Filter) Variance() float64 { return f.p }
+
+// Gain returns the Kalman gain applied by the most recent Update.
+func (f *Filter) Gain() float64 { return f.lastGain }
+
+// Steps returns the number of measurements folded in so far.
+func (f *Filter) Steps() int { return f.steps }
+
+// SteadyStateGain returns the asymptotic Kalman gain for the filter's q
+// and r; useful for analysis and tests. For the random-walk model it is
+// the positive root of k² + (q/r)k - q/r = 0 applied to the predicted
+// variance fixed point.
+func (f *Filter) SteadyStateGain() float64 {
+	// Fixed point of p' = (1-k)(p+q) with k = (p+q)/(p+q+r):
+	// p* = (-q + sqrt(q² + 4qr)) / 2.
+	pStar := (-f.q + math.Sqrt(f.q*f.q+4*f.q*f.r)) / 2
+	return (pStar + f.q) / (pStar + f.q + f.r)
+}

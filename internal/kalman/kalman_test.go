@@ -1,0 +1,163 @@
+package kalman
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct{ q, r float64 }{
+		{0, 1}, {1, 0}, {-1, 1}, {1, -1},
+		{math.Inf(1), 1}, {1, math.Inf(1)}, {math.NaN(), 1},
+	}
+	for _, c := range cases {
+		if _, err := New(c.q, c.r); err == nil {
+			t.Errorf("New(%v, %v): expected error", c.q, c.r)
+		}
+	}
+	if _, err := New(1e-6, 1e-3); err != nil {
+		t.Fatalf("New valid: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew should panic on invalid variance")
+		}
+	}()
+	MustNew(0, 1)
+}
+
+func TestFirstUpdateInitializes(t *testing.T) {
+	f := MustNew(1e-4, 1e-2)
+	if f.Initialized() {
+		t.Fatal("fresh filter should not be initialized")
+	}
+	got, err := f.Update(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 {
+		t.Fatalf("first update should seed the state, got %v", got)
+	}
+	if !f.Initialized() || f.Steps() != 1 {
+		t.Fatalf("after first update: initialized=%v steps=%d", f.Initialized(), f.Steps())
+	}
+}
+
+func TestEstimateUninitialized(t *testing.T) {
+	f := MustNew(1e-4, 1e-2)
+	if _, err := f.Estimate(); err != ErrUninitialized {
+		t.Fatalf("expected ErrUninitialized, got %v", err)
+	}
+}
+
+func TestRejectsNonFiniteMeasurements(t *testing.T) {
+	f := MustNew(1e-4, 1e-2)
+	f.Init(1, 1)
+	for _, z := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := f.Update(z); err != ErrBadMeasure {
+			t.Errorf("Update(%v): expected ErrBadMeasure, got %v", z, err)
+		}
+	}
+	if x, _ := f.Estimate(); x != 1 {
+		t.Fatalf("bad measurements must not move the estimate, got %v", x)
+	}
+}
+
+func TestConvergesToConstant(t *testing.T) {
+	f := MustNew(1e-6, 1e-2)
+	f.Init(0, 10)
+	const truth = 0.129 // AngryBirds base speed in GIPS
+	var got float64
+	for i := 0; i < 200; i++ {
+		got, _ = f.Update(truth)
+	}
+	if math.Abs(got-truth) > 1e-3 {
+		t.Fatalf("filter did not converge: got %v want %v", got, truth)
+	}
+}
+
+func TestTracksNoisyConstant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := MustNew(1e-6, 25e-4) // 5% noise on a 1.0 signal
+	f.Init(0.5, 1)
+	const truth = 1.0
+	var got float64
+	for i := 0; i < 500; i++ {
+		got, _ = f.Update(truth + rng.NormFloat64()*0.05)
+	}
+	if math.Abs(got-truth) > 0.02 {
+		t.Fatalf("noisy convergence off: got %v", got)
+	}
+}
+
+func TestTracksStepChange(t *testing.T) {
+	// Base speed changes when the app enters a new phase; the filter
+	// must follow within a bounded number of cycles.
+	f := MustNew(1e-4, 1e-3)
+	f.Init(0.129, 0.01)
+	for i := 0; i < 50; i++ {
+		f.Update(0.129)
+	}
+	var got float64
+	for i := 0; i < 60; i++ {
+		got, _ = f.Update(0.471)
+	}
+	if math.Abs(got-0.471) > 0.02 {
+		t.Fatalf("step tracking off: got %v want 0.471", got)
+	}
+}
+
+func TestVarianceShrinks(t *testing.T) {
+	f := MustNew(1e-6, 1e-2)
+	f.Init(1, 10)
+	prev := f.Variance()
+	for i := 0; i < 10; i++ {
+		f.Update(1)
+		if v := f.Variance(); v >= prev {
+			t.Fatalf("variance did not shrink at step %d: %v >= %v", i, v, prev)
+		} else {
+			prev = v
+		}
+	}
+}
+
+func TestSteadyStateGainMatchesIteration(t *testing.T) {
+	f := MustNew(3e-5, 7e-3)
+	f.Init(1, 1)
+	for i := 0; i < 2000; i++ {
+		f.Update(1)
+	}
+	if got, want := f.Gain(), f.SteadyStateGain(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("iterated gain %v != analytic steady-state gain %v", got, want)
+	}
+}
+
+// Property: the posterior estimate always lies between the prior estimate
+// and the measurement (scalar KF convexity), and gain stays in (0,1).
+func TestUpdateConvexProperty(t *testing.T) {
+	f := func(seed int64, x0, z float64) bool {
+		if math.IsNaN(x0) || math.IsInf(x0, 0) || math.Abs(x0) > 1e9 {
+			return true
+		}
+		if math.IsNaN(z) || math.IsInf(z, 0) || math.Abs(z) > 1e9 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		kf := MustNew(1e-6+rng.Float64(), 1e-6+rng.Float64())
+		kf.Init(x0, rng.Float64()*10)
+		post, err := kf.Update(z)
+		if err != nil {
+			return false
+		}
+		lo, hi := math.Min(x0, z), math.Max(x0, z)
+		return post >= lo-1e-9 && post <= hi+1e-9 && kf.Gain() > 0 && kf.Gain() < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

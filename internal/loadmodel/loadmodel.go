@@ -1,0 +1,127 @@
+// Package loadmodel implements the paper's §V-C future-work proposal:
+//
+//	"We envision a method which involves a power and performance model
+//	 which uses the system load as the variable parameter. At runtime,
+//	 the controller can track the background load and, using the models,
+//	 generate power and performance data for different configurations.
+//	 Such an approach would not require additional profiling."
+//
+// The model is deliberately first-order, matching the paper's own
+// observation that "the performance and power data for NL has the same
+// trend as that for BL but with a small increase in the absolute value":
+// each load condition is characterized once by its background footprint
+// (the GIPS and watts the background alone contributes at a reference
+// configuration), and a profile table measured under one load is adapted
+// to another by shifting performance and power by the footprint delta
+// and re-normalizing the speedups.
+package loadmodel
+
+import (
+	"fmt"
+	"time"
+
+	"aspeo/internal/perfmodel"
+	"aspeo/internal/profile"
+	"aspeo/internal/sim"
+	"aspeo/internal/workload"
+)
+
+// Footprint is one load condition's measured background contribution.
+type Footprint struct {
+	Load    workload.BGLoad
+	BGGips  float64 // background instructions per second at the reference config
+	BGPower float64 // device watts at the reference config with background only
+}
+
+// referenceConfig is where footprints are measured: a mid-ladder point
+// with headroom for every background mix.
+var referenceConfig = sim.FixedConfigActor{FreqIdx: 8, BWIdx: 4} // (1.2672 GHz, 3051 MBps)
+
+// probeSpec returns a negligible foreground: characterization wants the
+// background alone, but the simulator (like a real phone) always has a
+// foreground app. The probe's own footprint cancels in deltas. It
+// carries the *name* of the app being modelled, because the background
+// set is foreground-dependent (running Spotify in the foreground removes
+// the background Spotify instance).
+func probeSpec(foreground string) *workload.Spec {
+	return &workload.Spec{
+		Name: foreground,
+		Phases: []workload.Phase{{
+			Name: "probe-idle", Kind: workload.Paced,
+			Traits:   perfmodel.Traits{CPI: 2.0, BPI: 1.0, Par: 1.0, Overlap: 0.05},
+			Duration: time.Hour, DemandGIPS: 0.002,
+		}},
+		Loop: true, RunFor: time.Hour,
+	}
+}
+
+// Characterize measures a load condition's footprint: one short pinned
+// run instead of a whole profiling campaign.
+// The foreground app's name selects the background set it would actually
+// run against.
+func Characterize(load workload.BGLoad, foreground string, seed int64, window time.Duration) (Footprint, error) {
+	if window <= 0 {
+		return Footprint{}, fmt.Errorf("loadmodel: non-positive window")
+	}
+	ph, err := sim.NewPhone(sim.Config{
+		Foreground: probeSpec(foreground), Load: load, Seed: seed,
+		ScreenOn: true, WiFiOn: true,
+	})
+	if err != nil {
+		return Footprint{}, err
+	}
+	eng := sim.NewEngine(ph)
+	ref := referenceConfig
+	eng.MustRegister(&ref)
+	eng.Run(2*time.Second, false)
+	st := eng.Run(window, false)
+	return Footprint{Load: load, BGGips: st.GIPS, BGPower: st.AvgPowerW}, nil
+}
+
+// Adapt rewrites a profile table measured under `from` so it approximates
+// what profiling under `to` would have produced, without re-running the
+// application: every row's GIPS and power shift by the background
+// footprint delta, and speedups re-normalize against the shifted base.
+// The table's Load field records the synthetic condition.
+func Adapt(t *profile.Table, from, to Footprint) (*profile.Table, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	dG := to.BGGips - from.BGGips
+	dP := to.BGPower - from.BGPower
+
+	base := t.BaseGIPS + dG
+	if base <= 0 {
+		return nil, fmt.Errorf("loadmodel: adapted base speed %v invalid", base)
+	}
+	out := &profile.Table{
+		App:      t.App,
+		Load:     to.Load.String() + " (model-adapted from " + from.Load.String() + ")",
+		Mode:     t.Mode,
+		BaseGIPS: base,
+	}
+	for _, e := range t.Entries {
+		g := e.GIPS + dG
+		p := e.PowerW + dP
+		if g <= 0 || p <= 0 {
+			return nil, fmt.Errorf("loadmodel: entry (%d,%d) adapted to non-positive values", e.FreqIdx, e.BWIdx)
+		}
+		out.Entries = append(out.Entries, profile.Entry{
+			FreqIdx: e.FreqIdx, BWIdx: e.BWIdx,
+			GIPS: g, PowerW: p, Speedup: g / base,
+			Interpolated: e.Interpolated,
+		})
+	}
+	return out, out.Validate()
+}
+
+// AdaptTarget shifts a performance target measured under `from` to the
+// `to` condition: the foreground's share is unchanged, only the
+// background contribution moves.
+func AdaptTarget(target float64, from, to Footprint) float64 {
+	t := target + (to.BGGips - from.BGGips)
+	if t <= 0 {
+		return target
+	}
+	return t
+}

@@ -1,0 +1,157 @@
+package loadmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"aspeo/internal/profile"
+	"aspeo/internal/workload"
+)
+
+func TestCharacterizeValidation(t *testing.T) {
+	if _, err := Characterize(workload.NoLoad, "x", 1, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestCharacterizeOrdersLoads(t *testing.T) {
+	window := 12 * time.Second
+	nl, err := Characterize(workload.NoLoad, "probe", 1, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := Characterize(workload.BaselineLoad, "probe", 1, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hl, err := Characterize(workload.HeavierLoad, "probe", 1, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(nl.BGGips < bl.BGGips && bl.BGGips < hl.BGGips) {
+		t.Fatalf("background GIPS not ordered: NL %.4f, BL %.4f, HL %.4f",
+			nl.BGGips, bl.BGGips, hl.BGGips)
+	}
+	if !(nl.BGPower < bl.BGPower && bl.BGPower < hl.BGPower) {
+		t.Fatalf("background power not ordered: NL %.3f, BL %.3f, HL %.3f",
+			nl.BGPower, bl.BGPower, hl.BGPower)
+	}
+}
+
+func syntheticTable() *profile.Table {
+	t := &profile.Table{App: "x", Load: "BL", BaseGIPS: 0.2}
+	for i := 0; i < 5; i++ {
+		g := 0.2 + 0.1*float64(i)
+		t.Entries = append(t.Entries, profile.Entry{
+			FreqIdx: i, BWIdx: 0, GIPS: g, PowerW: 2 + 0.3*float64(i),
+			Speedup: g / 0.2,
+		})
+	}
+	return t
+}
+
+func TestAdaptShiftsAndRenormalizes(t *testing.T) {
+	from := Footprint{Load: workload.BaselineLoad, BGGips: 0.08, BGPower: 0.3}
+	to := Footprint{Load: workload.NoLoad, BGGips: 0.02, BGPower: 0.1}
+	in := syntheticTable()
+	out, err := Adapt(in, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GIPS shift −0.06, power shift −0.2, base 0.14.
+	if math.Abs(out.BaseGIPS-0.14) > 1e-12 {
+		t.Fatalf("adapted base = %v", out.BaseGIPS)
+	}
+	if math.Abs(out.Entries[0].GIPS-0.14) > 1e-12 {
+		t.Fatalf("adapted GIPS[0] = %v", out.Entries[0].GIPS)
+	}
+	if math.Abs(out.Entries[0].PowerW-1.8) > 1e-12 {
+		t.Fatalf("adapted power[0] = %v", out.Entries[0].PowerW)
+	}
+	if math.Abs(out.Entries[0].Speedup-1.0) > 1e-12 {
+		t.Fatalf("adapted speedup[0] = %v (must renormalize to 1)", out.Entries[0].Speedup)
+	}
+	if !strings.Contains(out.Load, "model-adapted") {
+		t.Fatalf("adapted load label = %q", out.Load)
+	}
+	// The input table must be untouched.
+	if in.Entries[0].GIPS != 0.2 {
+		t.Fatal("Adapt mutated its input")
+	}
+}
+
+func TestAdaptRejectsDegenerate(t *testing.T) {
+	from := Footprint{BGGips: 0.5, BGPower: 3.0}
+	to := Footprint{BGGips: 0.0, BGPower: 0.0}
+	// Shifting down by 0.5 GIPS drives entries negative.
+	if _, err := Adapt(syntheticTable(), from, to); err == nil {
+		t.Fatal("degenerate adaptation accepted")
+	}
+	bad := syntheticTable()
+	bad.Entries = nil
+	if _, err := Adapt(bad, Footprint{}, Footprint{}); err == nil {
+		t.Fatal("invalid table accepted")
+	}
+}
+
+func TestAdaptTarget(t *testing.T) {
+	from := Footprint{BGGips: 0.08}
+	to := Footprint{BGGips: 0.02}
+	if got := AdaptTarget(0.5, from, to); math.Abs(got-0.44) > 1e-12 {
+		t.Fatalf("adapted target = %v", got)
+	}
+	// Degenerate shifts fall back to the original target.
+	if got := AdaptTarget(0.05, from, to); got != 0.05 {
+		t.Fatalf("degenerate target = %v", got)
+	}
+}
+
+// End-to-end: adapting a BL profile to NL must land closer to a real NL
+// profile than the stale BL profile does (the paper's claim that the
+// model approach can replace re-profiling).
+func TestAdaptApproximatesReprofiling(t *testing.T) {
+	opts := profile.Options{
+		Load: workload.BaselineLoad, Mode: profile.Coordinated,
+		Seeds: []int64{11}, Warmup: 2 * time.Second, Window: 12 * time.Second,
+	}
+	spec := workload.MXPlayer()
+	blTab, err := profile.Run(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Load = workload.NoLoad
+	nlTab, err := profile.Run(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blFp, err := Characterize(workload.BaselineLoad, spec.Name, 1, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlFp, err := Characterize(workload.NoLoad, spec.Name, 1, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapted, err := Adapt(blTab, blFp, nlFp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rms := func(a, b *profile.Table) float64 {
+		var s float64
+		n := 0
+		for i := range a.Entries {
+			d := a.Entries[i].GIPS - b.Entries[i].GIPS
+			s += d * d
+			n++
+		}
+		return math.Sqrt(s / float64(n))
+	}
+	stale := rms(blTab, nlTab)
+	modeled := rms(adapted, nlTab)
+	if modeled >= stale {
+		t.Fatalf("model-adapted table no closer to re-profiled truth: %.4f vs %.4f", modeled, stale)
+	}
+}

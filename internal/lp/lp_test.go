@@ -1,0 +1,265 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return s
+}
+
+func TestSimpleLE(t *testing.T) {
+	// max x+y s.t. x+2y<=4, 3x+y<=6  (minimize the negation)
+	p := &Problem{
+		C:   []float64{-1, -1},
+		A:   [][]float64{{1, 2}, {3, 1}},
+		B:   []float64{4, 6},
+		Rel: []Relation{LE, LE},
+	}
+	s := solveOK(t, p)
+	// Optimum at intersection: x=1.6, y=1.2, objective -2.8.
+	if math.Abs(s.X[0]-1.6) > 1e-6 || math.Abs(s.X[1]-1.2) > 1e-6 {
+		t.Fatalf("X = %v, want [1.6 1.2]", s.X)
+	}
+	if math.Abs(s.Objective+2.8) > 1e-6 {
+		t.Fatalf("Objective = %v, want -2.8", s.Objective)
+	}
+}
+
+func TestEqualityConstraints(t *testing.T) {
+	// min 2x+3y s.t. x+y=10, x-y=2 → x=6, y=4, obj 24.
+	p := &Problem{
+		C:   []float64{2, 3},
+		A:   [][]float64{{1, 1}, {1, -1}},
+		B:   []float64{10, 2},
+		Rel: []Relation{EQ, EQ},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.X[0]-6) > 1e-6 || math.Abs(s.X[1]-4) > 1e-6 {
+		t.Fatalf("X = %v, want [6 4]", s.X)
+	}
+	if math.Abs(s.Objective-24) > 1e-6 {
+		t.Fatalf("Objective = %v", s.Objective)
+	}
+}
+
+func TestGEConstraint(t *testing.T) {
+	// min x s.t. x >= 5 → x=5.
+	p := &Problem{
+		C:   []float64{1},
+		A:   [][]float64{{1}},
+		B:   []float64{5},
+		Rel: []Relation{GE},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.X[0]-5) > 1e-6 {
+		t.Fatalf("X = %v, want [5]", s.X)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x+y s.t. -x-y <= -3 (i.e. x+y>=3) → obj 3.
+	p := &Problem{
+		C:   []float64{1, 1},
+		A:   [][]float64{{-1, -1}},
+		B:   []float64{-3},
+		Rel: []Relation{LE},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-3) > 1e-6 {
+		t.Fatalf("Objective = %v, want 3", s.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		C:   []float64{1},
+		A:   [][]float64{{1}, {1}},
+		B:   []float64{2, 5},
+		Rel: []Relation{EQ, EQ},
+	}
+	if _, err := Solve(p); err != ErrInfeasible {
+		t.Fatalf("expected ErrInfeasible, got %v", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x s.t. x >= 1 → unbounded below.
+	p := &Problem{
+		C:   []float64{-1},
+		A:   [][]float64{{1}},
+		B:   []float64{1},
+		Rel: []Relation{GE},
+	}
+	if _, err := Solve(p); err != ErrUnbounded {
+		t.Fatalf("expected ErrUnbounded, got %v", err)
+	}
+}
+
+func TestBadShape(t *testing.T) {
+	p := &Problem{
+		C:   []float64{1, 2},
+		A:   [][]float64{{1}},
+		B:   []float64{1},
+		Rel: []Relation{LE},
+	}
+	if _, err := Solve(p); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestNonFinite(t *testing.T) {
+	p := &Problem{
+		C:   []float64{math.NaN()},
+		A:   [][]float64{{1}},
+		B:   []float64{1},
+		Rel: []Relation{LE},
+	}
+	if _, err := Solve(p); err == nil {
+		t.Fatal("expected numeric error")
+	}
+}
+
+func TestDegenerateRedundantRow(t *testing.T) {
+	// x+y=2 stated twice; still solvable.
+	p := &Problem{
+		C:   []float64{1, 2},
+		A:   [][]float64{{1, 1}, {1, 1}},
+		B:   []float64{2, 2},
+		Rel: []Relation{EQ, EQ},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.X[0]-2) > 1e-6 || math.Abs(s.X[1]) > 1e-6 {
+		t.Fatalf("X = %v, want [2 0]", s.X)
+	}
+}
+
+// energyLP builds the paper's optimizer LP: min uᵀP s.t. Sᵀu = sT,
+// 1ᵀu = T, u >= 0.
+func energyLP(speedup, power []float64, target, T float64) *Problem {
+	n := len(speedup)
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	return &Problem{
+		C:   append([]float64(nil), power...),
+		A:   [][]float64{append([]float64(nil), speedup...), ones},
+		B:   []float64{target * T, T},
+		Rel: []Relation{EQ, EQ},
+	}
+}
+
+func TestEnergyLPTwoConfigStructure(t *testing.T) {
+	// Convex-ish power/speedup curve; optimum must use at most 2 configs
+	// and satisfy both constraints.
+	speedup := []float64{1.0, 1.3, 1.8, 2.2, 2.9, 3.4}
+	power := []float64{1.6, 1.8, 2.2, 2.7, 3.5, 4.4}
+	const T = 2.0
+	s := solveOK(t, energyLP(speedup, power, 2.0, T))
+	nonzero := 0
+	var sumU, sumSU float64
+	for i, u := range s.X {
+		if u > 1e-7 {
+			nonzero++
+		}
+		sumU += u
+		sumSU += u * speedup[i]
+	}
+	if nonzero > 2 {
+		t.Fatalf("optimal basic solution uses %d configs, want <= 2 (X=%v)", nonzero, s.X)
+	}
+	if math.Abs(sumU-T) > 1e-6 {
+		t.Fatalf("time constraint violated: sum u = %v", sumU)
+	}
+	if math.Abs(sumSU-2.0*T) > 1e-6 {
+		t.Fatalf("performance constraint violated: Sᵀu = %v want %v", sumSU, 2.0*T)
+	}
+}
+
+func TestEnergyLPInfeasibleTarget(t *testing.T) {
+	speedup := []float64{1.0, 1.5}
+	power := []float64{1.0, 2.0}
+	if _, err := Solve(energyLP(speedup, power, 3.0, 2.0)); err != ErrInfeasible {
+		t.Fatalf("target above max speedup should be infeasible, got %v", err)
+	}
+}
+
+// Property test: on random feasible energy LPs, (1) the solver succeeds,
+// (2) constraints hold, (3) at most two nonzero entries (paper's basic
+// solution property), (4) objective never beats the obvious lower bound
+// min-power · T.
+func TestEnergyLPRandomProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		speedup := make([]float64, n)
+		power := make([]float64, n)
+		s, p := 1.0, 1.0+rng.Float64()
+		for i := 0; i < n; i++ {
+			speedup[i] = s
+			power[i] = p
+			s += 0.05 + rng.Float64()
+			p += 0.05 + rng.Float64()*2
+		}
+		// Pick a target strictly inside [min, max] speedup.
+		target := speedup[0] + rng.Float64()*(speedup[n-1]-speedup[0])
+		const T = 2.0
+		sol, err := Solve(energyLP(speedup, power, target, T))
+		if err != nil {
+			return false
+		}
+		var sumU, sumSU, minP float64
+		minP = power[0]
+		nonzero := 0
+		for i, u := range sol.X {
+			if u < -1e-7 {
+				return false
+			}
+			if u > 1e-7 {
+				nonzero++
+			}
+			sumU += u
+			sumSU += u * speedup[i]
+			if power[i] < minP {
+				minP = power[i]
+			}
+		}
+		if nonzero > 2 {
+			return false
+		}
+		if math.Abs(sumU-T) > 1e-6 || math.Abs(sumSU-target*T) > 1e-5 {
+			return false
+		}
+		return sol.Objective >= minP*T-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEnergyLP234Configs(b *testing.B) {
+	// Full Nexus 6 configuration space: 18 × 13 = 234 variables.
+	n := 234
+	speedup := make([]float64, n)
+	power := make([]float64, n)
+	for i := 0; i < n; i++ {
+		speedup[i] = 1 + 3*float64(i)/float64(n-1)
+		power[i] = 1.6 + 3*float64(i)/float64(n-1) + 0.3*math.Sin(float64(i))
+	}
+	p := energyLP(speedup, power, 2.5, 2.0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package monsoon
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("zero rate should error")
+	}
+	if _, err := New(-5); err == nil {
+		t.Fatal("negative rate should error")
+	}
+	m, err := New(5000)
+	if err != nil || m == nil {
+		t.Fatalf("New(5000): %v", err)
+	}
+}
+
+func TestEnergyIntegration(t *testing.T) {
+	m := Default()
+	m.Start()
+	// 2 W for 3 s = 6 J.
+	for i := 0; i < 3000; i++ {
+		m.Observe(2.0, time.Millisecond)
+	}
+	m.Stop()
+	if got := m.EnergyJ(); math.Abs(got-6) > 1e-9 {
+		t.Fatalf("EnergyJ = %v, want 6", got)
+	}
+	if got := m.AveragePowerW(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("AveragePowerW = %v, want 2", got)
+	}
+	if got := m.Elapsed(); got != 3*time.Second {
+		t.Fatalf("Elapsed = %v", got)
+	}
+}
+
+func TestAverageOfVaryingPower(t *testing.T) {
+	m := Default()
+	m.Start()
+	m.Observe(1.0, time.Second)
+	m.Observe(3.0, time.Second)
+	if got := m.AveragePowerW(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("AveragePowerW = %v, want 2", got)
+	}
+	if got := m.PeakPowerW(); got != 3 {
+		t.Fatalf("PeakPowerW = %v", got)
+	}
+	if got := m.LastPowerW(); got != 3 {
+		t.Fatalf("LastPowerW = %v", got)
+	}
+}
+
+func TestIgnoresWhenStopped(t *testing.T) {
+	m := Default()
+	m.Observe(5, time.Second) // never started
+	if m.EnergyJ() != 0 {
+		t.Fatal("energy accumulated before Start")
+	}
+	m.Start()
+	m.Observe(5, time.Second)
+	m.Stop()
+	m.Observe(5, time.Second)
+	if got := m.EnergyJ(); got != 5 {
+		t.Fatalf("EnergyJ = %v, want 5 (post-Stop observation leaked in)", got)
+	}
+}
+
+func TestStartResets(t *testing.T) {
+	m := Default()
+	m.Start()
+	m.Observe(5, time.Second)
+	m.Start()
+	if m.EnergyJ() != 0 || m.Elapsed() != 0 || m.PeakPowerW() != 0 {
+		t.Fatal("Start did not reset session state")
+	}
+}
+
+func TestSampleCountMatchesRate(t *testing.T) {
+	m := Default() // 5 kHz
+	m.Start()
+	for i := 0; i < 1000; i++ {
+		m.Observe(1, time.Millisecond)
+	}
+	// 1 s at 5 kHz → 5000 samples.
+	if got := m.Samples(); got != 5000 {
+		t.Fatalf("Samples = %d, want 5000", got)
+	}
+}
+
+func TestNonPositiveDtIgnored(t *testing.T) {
+	m := Default()
+	m.Start()
+	m.Observe(1, 0)
+	m.Observe(1, -time.Second)
+	if m.EnergyJ() != 0 || m.Samples() != 0 {
+		t.Fatal("non-positive dt should be ignored")
+	}
+}
+
+func TestAverageEmpty(t *testing.T) {
+	m := Default()
+	if got := m.AveragePowerW(); got != 0 {
+		t.Fatalf("empty average = %v", got)
+	}
+}

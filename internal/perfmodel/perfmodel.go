@@ -1,0 +1,141 @@
+// Package perfmodel computes how fast a piece of work executes at a given
+// system configuration — the performance side of the simulated phone.
+//
+// Each workload phase is characterized by a small set of architectural
+// parameters (cycles per instruction, memory bytes per instruction,
+// thread-level parallelism). Throughput at a configuration follows a
+// softened roofline: per aggregate instruction the machine needs
+//
+//	t_c = CPI / (f · par)        core-compute seconds
+//	t_m = BPI / BW               memory-transfer seconds
+//	t   = max(t_c, t_m) + κ·min(t_c, t_m)
+//
+// so throughput IPS = 1/t saturates once the memory term dominates —
+// exactly the behaviour the paper measures on AngryBirds ("performance
+// does not improve beyond CPU frequency No. 5") — while κ models the
+// imperfect overlap of compute and memory that gives neighbouring
+// configurations slightly different performance.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"aspeo/internal/soc"
+)
+
+// Traits are the architectural parameters of one phase of an application.
+type Traits struct {
+	// CPI is average cycles per instruction of the instruction mix,
+	// ignoring memory-bandwidth stalls (those come from BPI).
+	CPI float64
+	// BPI is DRAM bytes transferred per instruction (cache misses,
+	// framebuffer traffic, DMA attributable to the app).
+	BPI float64
+	// ExtraBPI is additional, speculative DRAM traffic per instruction
+	// — hardware prefetch overshoot and write-allocate waste. It does
+	// not gate throughput (dropping it is free) but it flows on the
+	// bus: the power model charges it and the cpubw_hwmon governor's
+	// event counters see it, which is a large part of why that governor
+	// overprovisions bandwidth for streaming applications.
+	ExtraBPI float64
+	// Par is effective thread-level parallelism in cores (1.0 = one
+	// saturated core). Bounded by the SoC core count at evaluation.
+	Par float64
+	// Overlap κ ∈ [0,1]: 0 = perfect compute/memory overlap (hard
+	// roofline), 1 = fully serialized.
+	Overlap float64
+}
+
+// Validate checks the traits are physically meaningful.
+func (tr Traits) Validate() error {
+	if !(tr.CPI > 0) || math.IsInf(tr.CPI, 0) {
+		return fmt.Errorf("perfmodel: CPI = %v invalid", tr.CPI)
+	}
+	if tr.BPI < 0 || math.IsNaN(tr.BPI) || math.IsInf(tr.BPI, 0) {
+		return fmt.Errorf("perfmodel: BPI = %v invalid", tr.BPI)
+	}
+	if tr.ExtraBPI < 0 || math.IsNaN(tr.ExtraBPI) || math.IsInf(tr.ExtraBPI, 0) {
+		return fmt.Errorf("perfmodel: ExtraBPI = %v invalid", tr.ExtraBPI)
+	}
+	if !(tr.Par > 0) {
+		return fmt.Errorf("perfmodel: Par = %v invalid", tr.Par)
+	}
+	if tr.Overlap < 0 || tr.Overlap > 1 {
+		return fmt.Errorf("perfmodel: Overlap = %v outside [0,1]", tr.Overlap)
+	}
+	return nil
+}
+
+// SecPerInstr returns the aggregate machine seconds consumed per
+// instruction at frequency f and bandwidth bw on chip s.
+func (tr Traits) SecPerInstr(s *soc.SoC, f soc.Freq, bw soc.Bandwidth) float64 {
+	par := math.Min(tr.Par, float64(s.NumCores))
+	tc := tr.CPI / (f.Hz() * par)
+	tm := tr.BPI / bw.BytesPerSec()
+	if tc >= tm {
+		return tc + tr.Overlap*tm
+	}
+	return tm + tr.Overlap*tc
+}
+
+// CapacityIPS returns the maximum instructions per second the phase can
+// retire at configuration (f, bw).
+func (tr Traits) CapacityIPS(s *soc.SoC, f soc.Freq, bw soc.Bandwidth) float64 {
+	return 1 / tr.SecPerInstr(s, f, bw)
+}
+
+// CapacityAt is CapacityIPS addressed by ladder indices.
+func (tr Traits) CapacityAt(s *soc.SoC, cfg soc.Config) float64 {
+	return tr.CapacityIPS(s, s.Freq(cfg.FreqIdx), s.BW(cfg.BWIdx))
+}
+
+// Account describes the core-time decomposition of executing a batch of
+// instructions, used by the power model.
+type Account struct {
+	Instructions float64 // instructions retired
+	ActiveSec    float64 // core-seconds spent computing (summed over cores)
+	StalledSec   float64 // core-seconds stalled on memory
+	BusySec      float64 // ActiveSec + StalledSec (what /proc/stat reports)
+	TrafficBytes float64 // DRAM bytes moved
+}
+
+// Execute accounts for running `instr` instructions at (f, bw): how much
+// core time the OS sees busy, how much of it was real compute, and the
+// memory traffic. The busy time charges all `par` threads for the wall
+// time the batch occupies, matching how top/loadavg see a multi-threaded
+// app that is partially stalled.
+func (tr Traits) Execute(s *soc.SoC, f soc.Freq, bw soc.Bandwidth, instr float64) Account {
+	if instr <= 0 {
+		return Account{}
+	}
+	par := math.Min(tr.Par, float64(s.NumCores))
+	wall := instr * tr.SecPerInstr(s, f, bw) // aggregate machine seconds
+	active := instr * tr.CPI / f.Hz()        // true compute core-seconds
+	busy := wall * par
+	if active > busy {
+		active = busy
+	}
+	return Account{
+		Instructions: instr,
+		ActiveSec:    active,
+		StalledSec:   busy - active,
+		BusySec:      busy,
+		TrafficBytes: instr * (tr.BPI + tr.ExtraBPI),
+	}
+}
+
+// KneeFreqIdx returns the lowest frequency-ladder index at which the
+// phase becomes memory-bound at bandwidth bw (capacity stops improving
+// with frequency), or the top index if it never does.
+func (tr Traits) KneeFreqIdx(s *soc.SoC, bw soc.Bandwidth) int {
+	par := math.Min(tr.Par, float64(s.NumCores))
+	for i := range s.CPUFreqs {
+		tc := tr.CPI / (s.Freq(i).Hz() * par)
+		tm := tr.BPI / bw.BytesPerSec()
+		if tm >= tc {
+			return i
+		}
+	}
+	return len(s.CPUFreqs) - 1
+}

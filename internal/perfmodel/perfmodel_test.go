@@ -1,0 +1,179 @@
+package perfmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aspeo/internal/soc"
+)
+
+var n6 = soc.Nexus6()
+
+func TestValidate(t *testing.T) {
+	good := Traits{CPI: 1.5, BPI: 0.5, Par: 2, Overlap: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Traits{
+		{CPI: 0, BPI: 1, Par: 1},
+		{CPI: 1, BPI: -1, Par: 1},
+		{CPI: 1, BPI: 1, Par: 0},
+		{CPI: 1, BPI: 1, Par: 1, Overlap: 1.5},
+		{CPI: math.Inf(1), BPI: 1, Par: 1},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, tr)
+		}
+	}
+}
+
+func TestCapacityMonotoneInFreq(t *testing.T) {
+	tr := Traits{CPI: 2, BPI: 0.8, Par: 1.5, Overlap: 0.1}
+	prev := 0.0
+	for i := range n6.CPUFreqs {
+		c := tr.CapacityAt(n6, soc.Config{FreqIdx: i, BWIdx: 12})
+		if c < prev {
+			t.Fatalf("capacity decreased at freq %d", i)
+		}
+		prev = c
+	}
+}
+
+func TestCapacityMonotoneInBW(t *testing.T) {
+	tr := Traits{CPI: 2, BPI: 3, Par: 1.5, Overlap: 0.1}
+	prev := 0.0
+	for i := range n6.MemBWs {
+		c := tr.CapacityAt(n6, soc.Config{FreqIdx: 17, BWIdx: i})
+		if c < prev {
+			t.Fatalf("capacity decreased at bw %d", i)
+		}
+		prev = c
+	}
+}
+
+func TestMemoryBoundSaturation(t *testing.T) {
+	// Memory-heavy traits at the lowest bandwidth: frequency must stop
+	// mattering once memory-bound (AngryBirds behaviour in the paper).
+	tr := Traits{CPI: 3.3, BPI: 3.0, Par: 1.5, Overlap: 0.05}
+	knee := tr.KneeFreqIdx(n6, n6.BW(0))
+	if knee <= 0 || knee >= len(n6.CPUFreqs)-1 {
+		t.Fatalf("knee = %d, expected an interior frequency", knee)
+	}
+	cKnee := tr.CapacityAt(n6, soc.Config{FreqIdx: knee, BWIdx: 0})
+	cTop := tr.CapacityAt(n6, soc.Config{FreqIdx: 17, BWIdx: 0})
+	if gain := cTop/cKnee - 1; gain > 0.08 {
+		t.Fatalf("capacity still gained %.1f%% past the knee; should saturate", 100*gain)
+	}
+}
+
+func TestComputeBoundScaling(t *testing.T) {
+	// Pure compute traits: capacity must scale ~linearly with frequency.
+	tr := Traits{CPI: 1.5, BPI: 0.01, Par: 2, Overlap: 0}
+	c0 := tr.CapacityAt(n6, soc.Config{FreqIdx: 0, BWIdx: 12})
+	c17 := tr.CapacityAt(n6, soc.Config{FreqIdx: 17, BWIdx: 12})
+	wantRatio := n6.Freq(17).GHz() / n6.Freq(0).GHz()
+	if got := c17 / c0; math.Abs(got-wantRatio) > 0.05*wantRatio {
+		t.Fatalf("compute-bound scaling = %.3f, want ≈ %.3f", got, wantRatio)
+	}
+}
+
+func TestAngryBirdsBaseSpeedAnchor(t *testing.T) {
+	// The paper: AngryBirds base speed at (300 MHz, 762 MBps) is
+	// 0.129 GIPS. These traits are the ones the workload package uses.
+	tr := Traits{CPI: 3.30, BPI: 3.05, Par: 1.5, Overlap: 0.05}
+	got := tr.CapacityAt(n6, n6.MinConfig()) / 1e9
+	if math.Abs(got-0.129) > 0.013 {
+		t.Fatalf("AngryBirds base speed = %.4f GIPS, want 0.129 ± 0.013", got)
+	}
+}
+
+func TestParCappedByCores(t *testing.T) {
+	tr8 := Traits{CPI: 1, BPI: 0.01, Par: 8, Overlap: 0}
+	tr4 := Traits{CPI: 1, BPI: 0.01, Par: 4, Overlap: 0}
+	cfg := soc.Config{FreqIdx: 9, BWIdx: 12}
+	if c8, c4 := tr8.CapacityAt(n6, cfg), tr4.CapacityAt(n6, cfg); math.Abs(c8-c4) > 1e-6*c4 {
+		t.Fatalf("Par beyond core count must clamp: %v vs %v", c8, c4)
+	}
+}
+
+func TestExecuteAccounting(t *testing.T) {
+	tr := Traits{CPI: 2, BPI: 1, Par: 2, Overlap: 0.1}
+	f, bw := n6.Freq(9), n6.BW(4)
+	const instr = 1e9
+	acc := tr.Execute(n6, f, bw, instr)
+	if acc.Instructions != instr {
+		t.Fatalf("Instructions = %v", acc.Instructions)
+	}
+	if acc.TrafficBytes != instr*tr.BPI {
+		t.Fatalf("TrafficBytes = %v", acc.TrafficBytes)
+	}
+	if acc.BusySec <= 0 || acc.ActiveSec <= 0 || acc.StalledSec < 0 {
+		t.Fatalf("bad accounting: %+v", acc)
+	}
+	if math.Abs(acc.BusySec-(acc.ActiveSec+acc.StalledSec)) > 1e-9 {
+		t.Fatalf("BusySec must equal Active+Stalled: %+v", acc)
+	}
+	// Wall time consistency: busy = wall · par.
+	wall := instr * tr.SecPerInstr(n6, f, bw)
+	if math.Abs(acc.BusySec-wall*2) > 1e-9 {
+		t.Fatalf("BusySec = %v, want wall·par = %v", acc.BusySec, wall*2)
+	}
+}
+
+func TestExecuteZeroInstr(t *testing.T) {
+	tr := Traits{CPI: 2, BPI: 1, Par: 2}
+	if acc := tr.Execute(n6, n6.Freq(0), n6.BW(0), 0); acc != (Account{}) {
+		t.Fatalf("zero instructions should account to zero: %+v", acc)
+	}
+	if acc := tr.Execute(n6, n6.Freq(0), n6.BW(0), -5); acc != (Account{}) {
+		t.Fatalf("negative instructions should account to zero: %+v", acc)
+	}
+}
+
+// Property: capacity · sec-per-instr == 1 (definitional inverse).
+func TestCapacityInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := Traits{
+			CPI: 0.5 + rng.Float64()*5, BPI: rng.Float64() * 5,
+			Par: 0.5 + rng.Float64()*4, Overlap: rng.Float64(),
+		}
+		fi, bi := rng.Intn(18), rng.Intn(13)
+		cap := tr.CapacityAt(n6, soc.Config{FreqIdx: fi, BWIdx: bi})
+		spi := tr.SecPerInstr(n6, n6.Freq(fi), n6.BW(bi))
+		return math.Abs(cap*spi-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: active core time never exceeds busy core time, and stalled
+// time grows with memory boundedness.
+func TestAccountingSanityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := Traits{
+			CPI: 0.5 + rng.Float64()*5, BPI: rng.Float64() * 5,
+			Par: 0.5 + rng.Float64()*4, Overlap: rng.Float64(),
+		}
+		fi, bi := rng.Intn(18), rng.Intn(13)
+		acc := tr.Execute(n6, n6.Freq(fi), n6.BW(bi), 1e8)
+		return acc.ActiveSec <= acc.BusySec+1e-9 && acc.StalledSec >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKneeMovesUpWithBandwidth(t *testing.T) {
+	tr := Traits{CPI: 2, BPI: 2, Par: 1.5, Overlap: 0.1}
+	lo := tr.KneeFreqIdx(n6, n6.BW(0))
+	hi := tr.KneeFreqIdx(n6, n6.BW(12))
+	if hi < lo {
+		t.Fatalf("knee should not move down with more bandwidth: %d -> %d", lo, hi)
+	}
+}

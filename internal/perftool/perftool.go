@@ -1,0 +1,174 @@
+// Package perftool emulates the Linux perf tool as the paper uses it: a
+// sampled reader of the PMU instruction counter from which the GIPS
+// performance metric is derived (paper §III-B2, §IV-B).
+//
+// The emulation reproduces the measured costs that shaped the paper's
+// controller design:
+//
+//   - the minimum sampling period on the Nexus 6 is 100 ms;
+//   - the computation overhead is ~40 ms of CPU per sample — 40% of the
+//     machine at a 100 ms period, 4% at the 1 s period the controller
+//     uses (this is why the paper settles on a 2 s control cycle);
+//   - the power overhead at a 1 s period is ~15 mW;
+//   - a reading takes ~1.04 s to be reported, so the controller consumes
+//     the previous window's measurement;
+//   - PMU-derived readings carry noise, especially over short windows.
+package perftool
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"aspeo/internal/pmu"
+	"aspeo/internal/sim"
+)
+
+// MinSamplingPeriod is the shortest period perf supports on the device.
+const MinSamplingPeriod = 100 * time.Millisecond
+
+// cpuSecondsPerSample is the compute cost of collecting and reporting one
+// sample (≈40 ms of CPU), the source of the 40%-at-100 ms figure.
+const cpuSecondsPerSample = 0.040
+
+// powerPerSampleJ is the energy cost of one sample: 15 mW at a 1 s
+// period.
+const powerPerSampleJ = 0.015
+
+// noiseSigma is the relative standard deviation of a GIPS reading over a
+// 1-second window; shorter windows are proportionally noisier (§V-B:
+// "PMU-based performance measurements could have high variations" for
+// short durations).
+const noiseSigma = 0.02
+
+// Reading is one completed measurement.
+type Reading struct {
+	GIPS    float64
+	Window  time.Duration // the interval the reading covers
+	EndedAt time.Duration // when the window closed
+	Seq     int
+}
+
+// historyLen bounds the reading ring buffer (enough for several control
+// cycles at any sane period).
+const historyLen = 64
+
+// Perf is the sampling reader. It implements sim.Actor.
+type Perf struct {
+	period time.Duration
+	rng    *rand.Rand
+
+	prev        pmu.Snapshot
+	prevAt      time.Duration
+	initialized bool
+	last        Reading
+	history     []Reading // most recent last
+	seq         int
+	attached    bool
+}
+
+// New creates a perf reader with the given sampling period.
+func New(period time.Duration, seed int64) (*Perf, error) {
+	if period < MinSamplingPeriod {
+		return nil, fmt.Errorf("perftool: period %v below device minimum %v", period, MinSamplingPeriod)
+	}
+	return &Perf{period: period, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// MustNew is New but panics on invalid periods.
+func MustNew(period time.Duration, seed int64) *Perf {
+	p, err := New(period, seed)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name implements sim.Actor.
+func (p *Perf) Name() string { return "perf" }
+
+// Period implements sim.Actor.
+func (p *Perf) Period() time.Duration { return p.period }
+
+// OverheadFrac returns the fraction of machine time the sampling costs at
+// this period.
+func (p *Perf) OverheadFrac() float64 {
+	f := cpuSecondsPerSample / p.period.Seconds()
+	if f > 0.9 {
+		f = 0.9
+	}
+	return f
+}
+
+// Tick implements sim.Actor: close the current window, produce a reading,
+// and charge the instrumentation costs to the device.
+func (p *Perf) Tick(now time.Duration, ph *sim.Phone) {
+	if !p.attached {
+		// First tick: install the standing CPU and power overheads.
+		// Each sample costs ~15 mJ, so the average power overhead is
+		// 15 mW at the 1 s period the paper reports.
+		ph.SetPerfOverheadFrac(p.OverheadFrac())
+		ph.SetStandingOverlayW(powerPerSampleJ / p.period.Seconds())
+		p.attached = true
+	}
+	snap := ph.PMU().Snapshot()
+	if !p.initialized {
+		p.initialized = true
+		p.prev, p.prevAt = snap, now
+		return
+	}
+	window := now - p.prevAt
+	if window <= 0 {
+		return
+	}
+	instr := snap.Delta(p.prev, pmu.Instructions)
+	p.prev, p.prevAt = snap, now
+
+	gips := instr / window.Seconds() / 1e9
+	// Noise scales with 1/sqrt(window): short windows are unreliable.
+	sigma := noiseSigma / math.Sqrt(math.Max(window.Seconds(), 1e-3))
+	gips *= 1 + sigma*p.rng.NormFloat64()
+	if gips < 0 {
+		gips = 0
+	}
+	p.seq++
+	p.last = Reading{GIPS: gips, Window: window, EndedAt: now, Seq: p.seq}
+	p.history = append(p.history, p.last)
+	if len(p.history) > historyLen {
+		p.history = p.history[len(p.history)-historyLen:]
+	}
+}
+
+// Detach removes the instrumentation costs from the phone (perf stopped).
+func (p *Perf) Detach(ph *sim.Phone) {
+	ph.SetPerfOverheadFrac(0)
+	ph.SetStandingOverlayW(0)
+	p.attached = false
+}
+
+// Last returns the most recent completed reading; ok is false before the
+// first window closes.
+func (p *Perf) Last() (Reading, bool) {
+	return p.last, p.seq > 0
+}
+
+// MeanOver returns the time-weighted mean GIPS of the readings covering
+// (approximately) the trailing `span` — what a controller with a control
+// cycle longer than the sampling period consumes. ok is false when no
+// reading exists yet.
+func (p *Perf) MeanOver(span time.Duration) (float64, bool) {
+	if len(p.history) == 0 {
+		return 0, false
+	}
+	var sum, weight float64
+	covered := time.Duration(0)
+	for i := len(p.history) - 1; i >= 0 && covered < span; i-- {
+		r := p.history[i]
+		w := r.Window.Seconds()
+		sum += r.GIPS * w
+		weight += w
+		covered += r.Window
+	}
+	return sum / weight, true
+}

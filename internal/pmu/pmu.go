@@ -1,0 +1,86 @@
+// Package pmu models the performance monitoring unit of the SoC: free-
+// running hardware counters that the perf tool samples to derive the
+// GIPS performance metric (paper §III-B2).
+//
+// The simulator advances the counters; readers (the perf tool emulation)
+// take snapshots and compute deltas, exactly like `perf stat` does with
+// the ARM PMU cycle and instruction counters.
+package pmu
+
+import "sync"
+
+// Counter identifies one hardware event counter.
+type Counter int
+
+// Supported counters.
+const (
+	Instructions   Counter = iota // instructions retired (all cores)
+	Cycles                        // core cycles while busy
+	BusAccessBytes                // bytes moved on the memory bus
+	numCounters
+)
+
+// String returns the perf-style event name.
+func (c Counter) String() string {
+	switch c {
+	case Instructions:
+		return "instructions"
+	case Cycles:
+		return "cycles"
+	case BusAccessBytes:
+		return "bus-access-bytes"
+	}
+	return "unknown"
+}
+
+// PMU is the set of counters. Safe for concurrent use: the simulator
+// writes, tool emulations read.
+type PMU struct {
+	mu     sync.RWMutex
+	counts [numCounters]float64
+}
+
+// New returns a PMU with zeroed counters.
+func New() *PMU { return &PMU{} }
+
+// Add advances a counter by delta. Negative deltas are ignored — hardware
+// counters only move forward.
+func (p *PMU) Add(c Counter, delta float64) {
+	if delta <= 0 || c < 0 || c >= numCounters {
+		return
+	}
+	p.mu.Lock()
+	p.counts[c] += delta
+	p.mu.Unlock()
+}
+
+// Read returns the current value of a counter.
+func (p *PMU) Read(c Counter) float64 {
+	if c < 0 || c >= numCounters {
+		return 0
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.counts[c]
+}
+
+// Snapshot captures all counters at once, so a reader can compute
+// mutually consistent deltas.
+type Snapshot struct {
+	values [numCounters]float64
+}
+
+// Snapshot returns a consistent snapshot of all counters.
+func (p *PMU) Snapshot() Snapshot {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return Snapshot{values: p.counts}
+}
+
+// Delta returns the counter movement between two snapshots (cur - prev).
+func (cur Snapshot) Delta(prev Snapshot, c Counter) float64 {
+	if c < 0 || c >= numCounters {
+		return 0
+	}
+	return cur.values[c] - prev.values[c]
+}

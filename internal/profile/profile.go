@@ -1,0 +1,336 @@
+// Package profile implements the paper's Stage 1: offline profiling of an
+// application's performance (speedup) and whole-device power across
+// system configurations (paper §III-A, Table I).
+//
+// Following the paper's space-reduction rule, only the app's allowed
+// alternate CPU frequencies × {lowest, highest} memory bandwidth are
+// actually run (≤ 9×2 = 18 measurements); the remaining bandwidths are
+// filled in by linear interpolation. Each measured point is averaged over
+// three seeded runs, mirroring the paper's three-run averaging. Speedups
+// are normalized to the application's base speed — its performance at the
+// SoC's lowest configuration — which is also what the controller's Kalman
+// filter tracks at runtime.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"aspeo/internal/governor"
+	"aspeo/internal/perftool"
+	"aspeo/internal/sim"
+	"aspeo/internal/soc"
+	"aspeo/internal/stats"
+	"aspeo/internal/sysfs"
+	"aspeo/internal/workload"
+)
+
+// BWMode selects how the memory bandwidth behaves during profiling.
+type BWMode int
+
+const (
+	// Coordinated profiles bandwidth endpoints and interpolates: the
+	// paper's main method, producing (freq, bw) configurations.
+	Coordinated BWMode = iota
+	// Governed leaves bandwidth to the default cpubw_hwmon governor and
+	// profiles CPU frequencies only — the Table V baseline. Entries
+	// carry BWIdx = GovernedBW.
+	Governed
+)
+
+// GovernedBW marks entries whose bandwidth is under the default governor.
+const GovernedBW = -1
+
+// Entry is one row of the profiling table.
+type Entry struct {
+	FreqIdx      int     `json:"freq_idx"` // 0-based ladder index
+	BWIdx        int     `json:"bw_idx"`   // 0-based, or GovernedBW
+	Speedup      float64 `json:"speedup"`
+	PowerW       float64 `json:"power_w"`
+	GIPS         float64 `json:"gips"`
+	Interpolated bool    `json:"interpolated"`
+}
+
+// Config returns the entry's configuration (BWIdx clamped to 0 for
+// governed entries, which carry no bandwidth of their own).
+func (e Entry) Config() soc.Config {
+	bw := e.BWIdx
+	if bw < 0 {
+		bw = 0
+	}
+	return soc.Config{FreqIdx: e.FreqIdx, BWIdx: bw}
+}
+
+// Table is an application's offline profile.
+type Table struct {
+	App      string  `json:"app"`
+	Load     string  `json:"load"`
+	Mode     BWMode  `json:"mode"`
+	BaseGIPS float64 `json:"base_gips"` // speed at the SoC's lowest configuration
+	Entries  []Entry `json:"entries"`
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.Entries) }
+
+// Speedups returns the speedup column.
+func (t *Table) Speedups() []float64 {
+	out := make([]float64, len(t.Entries))
+	for i, e := range t.Entries {
+		out[i] = e.Speedup
+	}
+	return out
+}
+
+// Powers returns the power column in watts.
+func (t *Table) Powers() []float64 {
+	out := make([]float64, len(t.Entries))
+	for i, e := range t.Entries {
+		out[i] = e.PowerW
+	}
+	return out
+}
+
+// MinSpeedup returns the smallest speedup in the table.
+func (t *Table) MinSpeedup() float64 {
+	m := t.Entries[0].Speedup
+	for _, e := range t.Entries[1:] {
+		if e.Speedup < m {
+			m = e.Speedup
+		}
+	}
+	return m
+}
+
+// MaxSpeedup returns the largest speedup in the table.
+func (t *Table) MaxSpeedup() float64 {
+	m := t.Entries[0].Speedup
+	for _, e := range t.Entries[1:] {
+		if e.Speedup > m {
+			m = e.Speedup
+		}
+	}
+	return m
+}
+
+// SortedBySpeedup returns a copy of the entries in ascending speedup
+// order (the shape the energy optimizer consumes).
+func (t *Table) SortedBySpeedup() []Entry {
+	out := append([]Entry(nil), t.Entries...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Speedup < out[j].Speedup })
+	return out
+}
+
+// Validate checks structural invariants.
+func (t *Table) Validate() error {
+	if len(t.Entries) == 0 {
+		return fmt.Errorf("profile: empty table for %s", t.App)
+	}
+	if t.BaseGIPS <= 0 {
+		return fmt.Errorf("profile: non-positive base speed for %s", t.App)
+	}
+	for i, e := range t.Entries {
+		if e.Speedup <= 0 || e.PowerW <= 0 {
+			return fmt.Errorf("profile: entry %d has non-positive speedup/power", i)
+		}
+	}
+	return nil
+}
+
+// WriteJSON serializes the table.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadJSON deserializes a table.
+func ReadJSON(r io.Reader) (*Table, error) {
+	var t Table
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("profile: decode: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// Options configure a profiling campaign.
+type Options struct {
+	SoC    *soc.SoC
+	Load   workload.BGLoad
+	Mode   BWMode
+	Seeds  []int64       // one run per seed, averaged (paper: 3 runs)
+	Warmup time.Duration // discarded settling time per configuration
+	Window time.Duration // measured interval per configuration
+}
+
+// DefaultOptions mirrors the paper's protocol: baseline load, three runs.
+func DefaultOptions() Options {
+	return Options{
+		Load:   workload.BaselineLoad,
+		Mode:   Coordinated,
+		Seeds:  []int64{11, 22, 33},
+		Warmup: 4 * time.Second,
+		Window: 36 * time.Second,
+	}
+}
+
+// measure runs the app pinned at (freqIdx, bwIdx) and returns mean GIPS
+// and power across seeds. bwIdx = GovernedBW leaves the bandwidth to the
+// hwmon governor.
+func measure(spec *workload.Spec, opt Options, freqIdx, bwIdx int) (gips, powerW float64, err error) {
+	// Profile a looped copy of the app: a finite workload (a 12-site
+	// browsing session, a 137 s video) must not run dry inside the
+	// measurement window at fast configurations, or the idle tail would
+	// dilute the measured GIPS.
+	looped := *spec
+	looped.Loop = true
+	looped.LoopCount = 0
+	var gipsS, powS []float64
+	for _, seed := range opt.Seeds {
+		ph, err := sim.NewPhone(sim.Config{
+			SoC: opt.SoC, Foreground: &looped, Load: opt.Load,
+			Seed: seed, ScreenOn: true, WiFiOn: true,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		eng := sim.NewEngine(ph)
+		if bwIdx == GovernedBW {
+			// Pin the CPU, leave the bus to the stock governor.
+			if err := ph.FS().Write(sysfs.DevFreqGovernor, sim.GovCPUBWHwmon); err != nil {
+				return 0, 0, err
+			}
+			eng.MustRegister(governor.NewDevFreq())
+			eng.MustRegister(&cpuPin{idx: freqIdx})
+		} else {
+			eng.MustRegister(&sim.FixedConfigActor{FreqIdx: freqIdx, BWIdx: bwIdx})
+		}
+		eng.MustRegister(perftool.MustNew(time.Second, seed))
+		eng.Run(opt.Warmup, false)
+		st := eng.Run(opt.Window, false)
+		gipsS = append(gipsS, st.GIPS)
+		powS = append(powS, st.AvgPowerW)
+	}
+	return stats.Mean(gipsS), stats.Mean(powS), nil
+}
+
+// cpuPin pins only the CPU frequency.
+type cpuPin struct{ idx int }
+
+func (c *cpuPin) Name() string                        { return "cpu-pin" }
+func (c *cpuPin) Period() time.Duration               { return 100 * time.Millisecond }
+func (c *cpuPin) Tick(_ time.Duration, ph *sim.Phone) { ph.SetFreqIdx(c.idx) }
+
+// Run profiles the application per the paper's protocol and returns the
+// completed table.
+func Run(spec *workload.Spec, opt Options) (*Table, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(opt.Seeds) == 0 {
+		return nil, fmt.Errorf("profile: no seeds")
+	}
+	if opt.Window <= 0 || opt.Warmup < 0 {
+		return nil, fmt.Errorf("profile: bad warmup/window")
+	}
+	chip := opt.SoC
+	if chip == nil {
+		chip = soc.Nexus6()
+	}
+	freqs := spec.ProfileFreqIdxs
+	if len(freqs) == 0 {
+		return nil, fmt.Errorf("profile: %s has no profiled frequencies", spec.Name)
+	}
+
+	// Base speed: the app at the SoC's lowest configuration.
+	baseGIPS, _, err := measure(spec, opt, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	if baseGIPS <= 0 {
+		return nil, fmt.Errorf("profile: %s base speed measured as %v", spec.Name, baseGIPS)
+	}
+
+	t := &Table{App: spec.Name, Load: opt.Load.String(), Mode: opt.Mode, BaseGIPS: baseGIPS}
+
+	if opt.Mode == Governed {
+		for _, fi := range freqs {
+			g, p, err := measure(spec, opt, fi, GovernedBW)
+			if err != nil {
+				return nil, err
+			}
+			t.Entries = append(t.Entries, Entry{
+				FreqIdx: fi, BWIdx: GovernedBW,
+				Speedup: g / baseGIPS, PowerW: p, GIPS: g,
+			})
+		}
+		return t, t.Validate()
+	}
+
+	// Bandwidth anchors. The paper's measurement budget is at most
+	// 9×2 = 18 configurations: every allowed alternate frequency at the
+	// lowest and highest bandwidth. When the app's allowed frequency
+	// range is narrow enough that a third anchor still fits in the same
+	// 18-point budget, we add a mid-ladder anchor (3051 MBps) so the
+	// piecewise-linear interpolation can see the memory roofline knee;
+	// otherwise we use the paper's two endpoints.
+	anchors := []int{0, len(chip.MemBWs) - 1}
+	if 3*len(freqs) <= 18 {
+		anchors = []int{0, midBWIdx(chip), len(chip.MemBWs) - 1}
+	}
+
+	for _, fi := range freqs {
+		type point struct {
+			bw   int
+			gips float64
+			pw   float64
+		}
+		pts := make([]point, 0, len(anchors))
+		for _, bi := range anchors {
+			g, pw, err := measure(spec, opt, fi, bi)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, point{bw: bi, gips: g, pw: pw})
+		}
+		isAnchor := func(bi int) bool {
+			for _, a := range anchors {
+				if a == bi {
+					return true
+				}
+			}
+			return false
+		}
+		// Piecewise-linear interpolation across the bandwidth ladder
+		// (paper §III-A), between consecutive measured anchors.
+		seg := 0
+		for bi := 0; bi < len(chip.MemBWs); bi++ {
+			for seg+1 < len(pts)-1 && bi > pts[seg+1].bw {
+				seg++
+			}
+			lo, hi := pts[seg], pts[seg+1]
+			span := chip.BW(hi.bw).MBps() - chip.BW(lo.bw).MBps()
+			frac := (chip.BW(bi).MBps() - chip.BW(lo.bw).MBps()) / span
+			g := stats.Lerp(lo.gips, hi.gips, frac)
+			p := stats.Lerp(lo.pw, hi.pw, frac)
+			t.Entries = append(t.Entries, Entry{
+				FreqIdx: fi, BWIdx: bi,
+				Speedup: g / baseGIPS, PowerW: p, GIPS: g,
+				Interpolated: !isAnchor(bi),
+			})
+		}
+	}
+	return t, t.Validate()
+}
+
+// midBWIdx returns the ladder index used as the third interpolation
+// anchor (3051 MBps on the Nexus 6).
+func midBWIdx(chip *soc.SoC) int {
+	return len(chip.MemBWs) / 3 // index 4 of 13 → 3051 MBps
+}

@@ -1,0 +1,234 @@
+package profile
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"aspeo/internal/workload"
+)
+
+// quickOpts keeps profiling cheap for tests.
+func quickOpts(load workload.BGLoad, mode BWMode) Options {
+	return Options{
+		Load: load, Mode: mode,
+		Seeds:  []int64{11},
+		Warmup: time.Second,
+		Window: 8 * time.Second,
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	spec := workload.Spotify()
+	bad := quickOpts(workload.BaselineLoad, Coordinated)
+	bad.Seeds = nil
+	if _, err := Run(spec, bad); err == nil {
+		t.Fatal("no seeds should fail")
+	}
+	bad = quickOpts(workload.BaselineLoad, Coordinated)
+	bad.Window = 0
+	if _, err := Run(spec, bad); err == nil {
+		t.Fatal("zero window should fail")
+	}
+	noFreqs := workload.Spotify()
+	noFreqs.ProfileFreqIdxs = nil
+	if _, err := Run(noFreqs, quickOpts(workload.BaselineLoad, Coordinated)); err == nil {
+		t.Fatal("empty frequency list should fail")
+	}
+}
+
+func TestCoordinatedTableShape(t *testing.T) {
+	spec := workload.Spotify() // 3 profiled freqs → 3 bandwidth anchors
+	tab, err := Run(spec, quickOpts(workload.BaselineLoad, Coordinated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 3 freqs × 13 interpolated bandwidths.
+	if got := tab.Len(); got != 3*13 {
+		t.Fatalf("table has %d rows, want 39", got)
+	}
+	anchors := 0
+	for _, e := range tab.Entries {
+		if !e.Interpolated {
+			anchors++
+		}
+	}
+	// 3 freqs × 3 measured anchors — within the paper's 18-point budget.
+	if anchors != 9 {
+		t.Fatalf("measured anchors = %d, want 9", anchors)
+	}
+	if anchors > 18 {
+		t.Fatal("measurement budget exceeded")
+	}
+}
+
+func TestWideRangeUsesTwoAnchors(t *testing.T) {
+	spec := workload.WeChat() // 8 profiled freqs → 2 anchors (8×3 > 18)
+	tab, err := Run(spec, quickOpts(workload.BaselineLoad, Coordinated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchors := 0
+	for _, e := range tab.Entries {
+		if !e.Interpolated {
+			anchors++
+		}
+	}
+	if anchors != 16 {
+		t.Fatalf("measured anchors = %d, want 8×2 = 16", anchors)
+	}
+}
+
+func TestSpeedupNormalization(t *testing.T) {
+	tab, err := Run(workload.Spotify(), quickOpts(workload.BaselineLoad, Coordinated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.BaseGIPS <= 0 {
+		t.Fatal("base speed must be positive")
+	}
+	for _, e := range tab.Entries {
+		if want := e.GIPS / tab.BaseGIPS; math.Abs(e.Speedup-want) > 1e-9 {
+			t.Fatalf("speedup %v != GIPS/base %v", e.Speedup, want)
+		}
+	}
+}
+
+func TestGovernedMode(t *testing.T) {
+	tab, err := Run(workload.Spotify(), quickOpts(workload.BaselineLoad, Governed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One row per profiled frequency; bandwidth column is governed.
+	if got := tab.Len(); got != 3 {
+		t.Fatalf("governed table rows = %d, want 3", got)
+	}
+	for _, e := range tab.Entries {
+		if e.BWIdx != GovernedBW {
+			t.Fatalf("governed entry carries bw idx %d", e.BWIdx)
+		}
+		if e.Config().BWIdx != 0 {
+			t.Fatal("governed Config() must clamp bandwidth to 0")
+		}
+	}
+}
+
+func TestPowerIncreasesWithBandwidthAnchor(t *testing.T) {
+	tab, err := Run(workload.MXPlayer(), quickOpts(workload.BaselineLoad, Coordinated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each frequency, power at bw13 must exceed power at bw1: the
+	// provisioned-bandwidth rail is monotone.
+	byFreq := map[int]map[int]Entry{}
+	for _, e := range tab.Entries {
+		if byFreq[e.FreqIdx] == nil {
+			byFreq[e.FreqIdx] = map[int]Entry{}
+		}
+		byFreq[e.FreqIdx][e.BWIdx] = e
+	}
+	for f, row := range byFreq {
+		if row[12].PowerW <= row[0].PowerW {
+			t.Fatalf("freq %d: power at bw13 (%.3f) <= bw1 (%.3f)", f, row[12].PowerW, row[0].PowerW)
+		}
+	}
+}
+
+func TestSortedBySpeedup(t *testing.T) {
+	tab, err := Run(workload.Spotify(), quickOpts(workload.BaselineLoad, Coordinated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := tab.SortedBySpeedup()
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].Speedup < sorted[i-1].Speedup {
+			t.Fatal("SortedBySpeedup is not sorted")
+		}
+	}
+	// Original order untouched.
+	if tab.Entries[0].FreqIdx != tab.Entries[1].FreqIdx && len(tab.Entries) > 13 {
+		t.Fatal("original table order mutated")
+	}
+	if tab.MinSpeedup() != sorted[0].Speedup || tab.MaxSpeedup() != sorted[len(sorted)-1].Speedup {
+		t.Fatal("Min/MaxSpeedup disagree with the sort")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tab, err := Run(workload.Spotify(), quickOpts(workload.BaselineLoad, Coordinated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tab.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != tab.App || got.Len() != tab.Len() || got.BaseGIPS != tab.BaseGIPS {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Entries[5] != tab.Entries[5] {
+		t.Fatal("entry drift through JSON")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"app":"x","entries":[]}`)); err == nil {
+		t.Fatal("empty table accepted")
+	}
+}
+
+func TestValidateTable(t *testing.T) {
+	bad := &Table{App: "x", BaseGIPS: 1, Entries: []Entry{{Speedup: -1, PowerW: 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative speedup accepted")
+	}
+	bad = &Table{App: "x", BaseGIPS: 0, Entries: []Entry{{Speedup: 1, PowerW: 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero base speed accepted")
+	}
+}
+
+// The deadline-app fix: profiling a finite workload must not dilute GIPS
+// with an idle tail after the workload completes inside the window.
+func TestFiniteWorkloadLoopedDuringProfiling(t *testing.T) {
+	spec := workload.MXPlayer() // LoopCount 1, 137 s nominal
+	tab, err := Run(spec, quickOpts(workload.NoLoad, Coordinated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All measured speedups must exceed base (the app at min config);
+	// a diluted tail would push top-config speedups toward zero.
+	for _, e := range tab.Entries {
+		if e.Speedup < 0.5 {
+			t.Fatalf("suspicious speedup %v — idle tail leaked into profiling", e.Speedup)
+		}
+	}
+	// The caller's spec must not be mutated by the looped copy.
+	if spec.LoopCount != 1 || !spec.Loop {
+		t.Fatal("profiler mutated the caller's spec")
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	o := DefaultOptions()
+	if len(o.Seeds) != 3 {
+		t.Fatalf("paper protocol averages 3 runs, got %d", len(o.Seeds))
+	}
+	if o.Load != workload.BaselineLoad {
+		t.Fatal("paper profiles under baseline load")
+	}
+	if o.Mode != Coordinated {
+		t.Fatal("default mode must be coordinated")
+	}
+}

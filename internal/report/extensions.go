@@ -1,0 +1,49 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"aspeo/internal/experiment"
+)
+
+// BatteryLife renders the battery-life translation of Table III.
+func BatteryLife(w io.Writer, rows []experiment.BatteryRow) {
+	fmt.Fprintln(w, "Battery life on the 3220 mAh pack (screen-on, per-app draw)")
+	fmt.Fprintf(w, "%-18s  %10s  %10s  %10s\n", "Application", "default", "controller", "extension")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s  %9.1fh  %9.1fh  %+9.1f%%\n",
+			Label(r.App), r.DefaultLife.Hours(), r.ControllerLife.Hours(), r.LifeExtensionPct)
+	}
+}
+
+// LoadModel renders the §V-C future-work study: stale vs model-adapted
+// vs re-profiled tables under NL.
+func LoadModel(w io.Writer, r *experiment.LoadModelResult) {
+	fmt.Fprintf(w, "Load-model study — %s under NL with a BL profile (§V-C future work)\n", Label(r.App))
+	fmt.Fprintf(w, "%-22s  %12s  %10s\n", "table", "perf Δ", "energy Δ")
+	row := func(name string, c experiment.Comparison) {
+		fmt.Fprintf(w, "%-22s  %+11.1f%%  %9.1f%%\n", name, c.PerfDeltaPct, c.EnergySavingsPct)
+	}
+	row("stale BL profile", r.Stale)
+	row("model-adapted", r.Adapted)
+	row("full NL re-profile", r.Reprofiled)
+}
+
+// Phase renders the phase-aware controller study.
+func Phase(w io.Writer, r *experiment.PhaseResult) {
+	fmt.Fprintf(w, "Phase-aware control — %s (§V-B problem class)\n", Label(r.App))
+	fmt.Fprintf(w, "  plain controller:       perf %+5.1f%%  energy %5.1f%%\n",
+		r.Plain.PerfDeltaPct, r.Plain.EnergySavingsPct)
+	fmt.Fprintf(w, "  phase-aware controller: perf %+5.1f%%  energy %5.1f%%  (%d phases tracked)\n",
+		r.PhaseAware.PerfDeltaPct, r.PhaseAware.EnergySavingsPct, r.PhasesDetected)
+}
+
+// Thermal renders the thermal study.
+func Thermal(w io.Writer, r *experiment.ThermalResult) {
+	fmt.Fprintf(w, "Thermal behaviour — %s under a %s envelope\n", Label(r.App), "36 °C")
+	fmt.Fprintf(w, "  default governors: peak %.1f °C, throttled %.1f s\n",
+		r.DefaultPeakC, r.DefaultThrot.Seconds())
+	fmt.Fprintf(w, "  controller:        peak %.1f °C, throttled %.1f s\n",
+		r.CtlPeakC, r.CtlThrot.Seconds())
+}

@@ -1,0 +1,182 @@
+// Package report renders experiment results as the paper presents them:
+// ASCII tables matching Tables I–V and side-by-side residency histograms
+// matching Figures 1, 4 and 5, plus CSV exports for plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"aspeo/internal/experiment"
+	"aspeo/internal/workload"
+)
+
+// appLabel maps canonical names to the paper's display names.
+var appLabel = map[string]string{
+	workload.NameVidCon:      "VidCon",
+	workload.NameMobileBench: "MobileBench",
+	workload.NameAngryBirds:  "AngryBirds",
+	workload.NameWeChat:      "WeChat Video Call",
+	workload.NameMXPlayer:    "MX Player",
+	workload.NameSpotify:     "Spotify",
+	workload.NameEBook:       "eBook Reader",
+}
+
+// Label returns the paper-style display name for an app.
+func Label(app string) string {
+	if l, ok := appLabel[app]; ok {
+		return l
+	}
+	return app
+}
+
+// TableI renders the sample profiling table (first rows + the (f5,bw1)
+// row the paper highlights).
+func TableI(w io.Writer, r *experiment.TableIResult) {
+	fmt.Fprintf(w, "Table I — offline profile of %s (load %s, base speed %.3f GIPS)\n",
+		Label(r.Table.App), r.Table.Load, r.Table.BaseGIPS)
+	fmt.Fprintf(w, "%4s  %-22s  %9s  %11s\n", "#", "Config (GHz,MBps)", "Speedup", "Power (mW)")
+	for i, e := range r.Table.Entries {
+		cfg := fmt.Sprintf("(%.4f, %.0f)", r.SoC.Freq(e.FreqIdx).GHz(), r.SoC.BW(e.Config().BWIdx).MBps())
+		mark := ""
+		if e.Interpolated {
+			mark = " *"
+		}
+		fmt.Fprintf(w, "%4d  %-22s  %9.4f  %11.2f%s\n", i+1, cfg, e.Speedup, e.PowerW*1000, mark)
+	}
+	fmt.Fprintln(w, "(* linearly interpolated between measured bandwidth anchors)")
+}
+
+// TableII renders the frequency/bandwidth ladders.
+func TableII(w io.Writer, r *experiment.TableIIResult) {
+	fmt.Fprintln(w, "Table II — CPU frequencies and memory bandwidths (Nexus 6)")
+	fmt.Fprintf(w, "%4s %12s    %4s %12s\n", "#", "CPU (GHz)", "#", "Mem (MBps)")
+	n := len(r.SoC.CPUFreqs)
+	for i := 0; i < n; i++ {
+		bw := ""
+		if i < len(r.SoC.MemBWs) {
+			bw = fmt.Sprintf("%4d %12.0f", i+1, r.SoC.BW(i).MBps())
+		}
+		fmt.Fprintf(w, "%4d %12.4f    %s\n", i+1, r.SoC.Freq(i).GHz(), bw)
+	}
+}
+
+// TableIII renders the headline comparison.
+func TableIII(w io.Writer, r *experiment.TableIIIResult) {
+	fmt.Fprintln(w, "Table III — performance difference and energy savings (baseline load)")
+	fmt.Fprintf(w, "%-18s  %12s  %10s\n", "Application", "Performance", "Energy")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-18s  %+11.1f%%  %9.1f%%\n",
+			Label(row.App), row.PerfDeltaPct, row.EnergySavingsPct)
+	}
+}
+
+// TableIV renders the load-sensitivity study.
+func TableIV(w io.Writer, r *experiment.TableIVResult) {
+	fmt.Fprintln(w, "Table IV — performance (%) and energy savings (%) under BL / NL / HL")
+	fmt.Fprintf(w, "%-18s  %6s %6s %6s   %6s %6s %6s\n",
+		"Application", "P:BL", "P:NL", "P:HL", "E:BL", "E:NL", "E:HL")
+	for _, spec := range workload.Evaluated() {
+		rows := r.Rows[spec.Name]
+		bl, nl, hl := rows[workload.BaselineLoad], rows[workload.NoLoad], rows[workload.HeavierLoad]
+		fmt.Fprintf(w, "%-18s  %+6.1f %+6.1f %+6.1f   %6.1f %6.1f %6.1f\n",
+			Label(spec.Name),
+			bl.PerfDeltaPct, nl.PerfDeltaPct, hl.PerfDeltaPct,
+			bl.EnergySavingsPct, nl.EnergySavingsPct, hl.EnergySavingsPct)
+	}
+}
+
+// TableV renders the CPU-only DVFS comparison.
+func TableV(w io.Writer, r *experiment.TableVResult) {
+	fmt.Fprintln(w, "Table V — CPU-only DVFS controller vs default governors")
+	fmt.Fprintf(w, "%-18s  %12s  %10s\n", "Application", "Performance", "Energy")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-18s  %+11.1f%%  %9.1f%%\n",
+			Label(row.App), row.PerfDeltaPct, row.EnergySavingsPct)
+	}
+	fmt.Fprintf(w, "Average extra energy vs coordinated control (excl. MX Player): %+.1f%%\n",
+		r.ExtraEnergyVsCoordinatedPct())
+}
+
+// Histogram renders one residency distribution as rows of bars.
+func Histogram(w io.Writer, title string, pct []float64, width int) {
+	if width <= 0 {
+		width = 40
+	}
+	fmt.Fprintln(w, title)
+	for i, p := range pct {
+		bar := strings.Repeat("#", int(p/100*float64(width)+0.5))
+		fmt.Fprintf(w, "%3d |%-*s| %5.1f%%\n", i+1, width, bar, p)
+	}
+}
+
+// HistogramPair renders a default-vs-controller residency comparison in
+// two columns, one row per ladder index (the layout of Figs. 4 and 5).
+func HistogramPair(w io.Writer, title string, pair experiment.HistPair, width int) {
+	if width <= 0 {
+		width = 28
+	}
+	fmt.Fprintf(w, "%s — %s\n", title, Label(pair.App))
+	fmt.Fprintf(w, "%3s  %-*s %7s | %-*s %7s\n", "#", width, "default", "", width, "controller", "")
+	n := len(pair.Def)
+	if len(pair.Ctl) > n {
+		n = len(pair.Ctl)
+	}
+	at := func(xs []float64, i int) float64 {
+		if i < len(xs) {
+			return xs[i]
+		}
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		d, c := at(pair.Def, i), at(pair.Ctl, i)
+		db := strings.Repeat("#", int(d/100*float64(width)+0.5))
+		cb := strings.Repeat("#", int(c/100*float64(width)+0.5))
+		fmt.Fprintf(w, "%3d  %-*s %6.1f%% | %-*s %6.1f%%\n", i+1, width, db, d, width, cb, c)
+	}
+}
+
+// Fig1 renders the eBook histogram.
+func Fig1(w io.Writer, r *experiment.Fig1Result) {
+	Histogram(w, "Figure 1 — CPU frequency residency, eBook reader under default governor", r.ResidencyPct, 40)
+}
+
+// Fig4 renders the per-app CPU-frequency histogram pairs.
+func Fig4(w io.Writer, pairs []experiment.HistPair) {
+	for _, p := range pairs {
+		HistogramPair(w, "Figure 4 — CPU frequency residency", p, 26)
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig5 renders the per-app bandwidth histogram pairs.
+func Fig5(w io.Writer, pairs []experiment.HistPair) {
+	for _, p := range pairs {
+		HistogramPair(w, "Figure 5 — memory bandwidth residency", p, 26)
+		fmt.Fprintln(w)
+	}
+}
+
+// Overhead renders the §V-A1 accounting.
+func Overhead(w io.Writer, r *experiment.OverheadResult) {
+	fmt.Fprintln(w, "Controller overhead (paper §V-A1)")
+	fmt.Fprintf(w, "  perf CPU overhead at 1 s sampling:   %.1f%%  (paper: 4%%)\n", r.PerfCPUOverheadPct)
+	fmt.Fprintf(w, "  perf power overhead:                 %.0f mW (paper: 15 mW)\n", r.PerfPowerOverheadW*1000)
+	fmt.Fprintf(w, "  regulator+optimizer energy/cycle:    %.0f mJ (paper: ~25 mW over 2 s)\n", r.ControllerEnergyPerCycleJ*1000)
+	fmt.Fprintf(w, "  optimizer host time per cycle:       %v   (paper: <10 ms on-device)\n", r.OptimizerTimePerCycle)
+	fmt.Fprintf(w, "  frequency changes per cycle:         %.2f\n", r.FreqChangesPerCycle)
+	fmt.Fprintf(w, "  actuation power overhead:            %.1f mW (paper: 14 mW)\n", r.ActuationPowerW*1000)
+	fmt.Fprintf(w, "  control cycles observed:             %d\n", r.Cycles)
+}
+
+// ComparisonCSV writes comparisons as CSV.
+func ComparisonCSV(w io.Writer, rows []experiment.Comparison) {
+	fmt.Fprintln(w, "app,load,perf_delta_pct,energy_savings_pct,def_energy_j,ctl_energy_j,def_gips,ctl_gips,def_runtime_s,ctl_runtime_s")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s,%s,%.3f,%.3f,%.3f,%.3f,%.4f,%.4f,%.2f,%.2f\n",
+			r.App, r.Load, r.PerfDeltaPct, r.EnergySavingsPct,
+			r.Default.EnergyJ, r.Ctl.EnergyJ, r.Default.GIPS, r.Ctl.GIPS,
+			r.Default.RuntimeSec, r.Ctl.RuntimeSec)
+	}
+}

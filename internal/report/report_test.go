@@ -1,0 +1,152 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"aspeo/internal/experiment"
+	"aspeo/internal/profile"
+	"aspeo/internal/soc"
+	"aspeo/internal/workload"
+)
+
+func TestLabel(t *testing.T) {
+	if got := Label(workload.NameWeChat); got != "WeChat Video Call" {
+		t.Fatalf("Label = %q", got)
+	}
+	if got := Label("unknown-app"); got != "unknown-app" {
+		t.Fatalf("unknown label = %q", got)
+	}
+}
+
+func sampleComparison() experiment.Comparison {
+	return experiment.Comparison{
+		App: workload.NameAngryBirds, Load: workload.BaselineLoad,
+		Default:      experiment.RunResult{EnergyJ: 680, GIPS: 0.44, RuntimeSec: 200},
+		Ctl:          experiment.RunResult{EnergyJ: 560, GIPS: 0.43, RuntimeSec: 200},
+		PerfDeltaPct: -2.3, EnergySavingsPct: 17.6,
+	}
+}
+
+func TestTableIIIRendering(t *testing.T) {
+	var b strings.Builder
+	TableIII(&b, &experiment.TableIIIResult{Rows: []experiment.Comparison{sampleComparison()}})
+	out := b.String()
+	for _, want := range []string{"Table III", "AngryBirds", "-2.3%", "17.6%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableIRendering(t *testing.T) {
+	tab := &profile.Table{
+		App: workload.NameAngryBirds, Load: "BL", BaseGIPS: 0.129,
+		Entries: []profile.Entry{
+			{FreqIdx: 0, BWIdx: 0, Speedup: 1.0, PowerW: 1.62357},
+			{FreqIdx: 0, BWIdx: 1, Speedup: 1.004, PowerW: 1.68283, Interpolated: true},
+		},
+	}
+	var b strings.Builder
+	TableI(&b, &experiment.TableIResult{Table: tab, SoC: soc.Nexus6()})
+	out := b.String()
+	if !strings.Contains(out, "(0.3000, 762)") {
+		t.Fatalf("missing config cell:\n%s", out)
+	}
+	if !strings.Contains(out, "1623.57") {
+		t.Fatalf("power not rendered in mW:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("interpolated marker missing:\n%s", out)
+	}
+}
+
+func TestTableIIRendering(t *testing.T) {
+	var b strings.Builder
+	TableII(&b, experiment.TableII())
+	out := b.String()
+	for _, want := range []string{"0.3000", "2.6496", "762", "16250"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 20 { // header×2 + 18 rows
+		t.Fatalf("Table II has %d lines", lines)
+	}
+}
+
+func TestTableIVRendering(t *testing.T) {
+	rows := map[string]map[workload.BGLoad]experiment.Comparison{}
+	for _, s := range workload.Evaluated() {
+		rows[s.Name] = map[workload.BGLoad]experiment.Comparison{
+			workload.BaselineLoad: sampleComparison(),
+			workload.NoLoad:       sampleComparison(),
+			workload.HeavierLoad:  sampleComparison(),
+		}
+	}
+	var b strings.Builder
+	TableIV(&b, &experiment.TableIVResult{Rows: rows})
+	out := b.String()
+	if !strings.Contains(out, "P:BL") || !strings.Contains(out, "E:HL") {
+		t.Fatalf("Table IV headers missing:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != 8 {
+		t.Fatalf("Table IV lines = %d", got)
+	}
+}
+
+func TestTableVRendering(t *testing.T) {
+	r := &experiment.TableVResult{
+		Rows:        []experiment.Comparison{sampleComparison()},
+		Coordinated: []experiment.Comparison{sampleComparison()},
+	}
+	var b strings.Builder
+	TableV(&b, r)
+	if !strings.Contains(b.String(), "extra energy vs coordinated") {
+		t.Fatalf("Table V aggregate missing:\n%s", b.String())
+	}
+}
+
+func TestHistogramPairRendering(t *testing.T) {
+	pair := experiment.HistPair{
+		App: workload.NameSpotify,
+		Def: []float64{50, 30, 20},
+		Ctl: []float64{90, 10, 0},
+	}
+	var b strings.Builder
+	HistogramPair(&b, "Figure 4 — CPU frequency residency", pair, 20)
+	out := b.String()
+	if !strings.Contains(out, "Spotify") || !strings.Contains(out, "default") {
+		t.Fatalf("pair header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "90.0%") || !strings.Contains(out, "50.0%") {
+		t.Fatalf("percentages missing:\n%s", out)
+	}
+	// Asymmetric lengths must not panic.
+	pair.Ctl = pair.Ctl[:1]
+	var b2 strings.Builder
+	HistogramPair(&b2, "t", pair, 20)
+}
+
+func TestOverheadRendering(t *testing.T) {
+	var b strings.Builder
+	Overhead(&b, &experiment.OverheadResult{
+		PerfCPUOverheadPct: 4.0, PerfPowerOverheadW: 0.015,
+		ControllerEnergyPerCycleJ: 0.05, Cycles: 99,
+	})
+	if !strings.Contains(b.String(), "4.0%") || !strings.Contains(b.String(), "15 mW") {
+		t.Fatalf("overhead rendering wrong:\n%s", b.String())
+	}
+}
+
+func TestComparisonCSV(t *testing.T) {
+	var b strings.Builder
+	ComparisonCSV(&b, []experiment.Comparison{sampleComparison()})
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "angrybirds,BL,-2.300,17.600,") {
+		t.Fatalf("CSV row = %q", lines[1])
+	}
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"aspeo/internal/pmu"
+)
+
+// Actor is a periodically scheduled software component: a governor, the
+// perf tool, or the energy controller. Tick runs at the actor's period
+// boundaries, before the device advances.
+type Actor interface {
+	// Name identifies the actor in logs and errors.
+	Name() string
+	// Period is the scheduling interval; it must be a positive multiple
+	// of the engine step.
+	Period() time.Duration
+	// Tick lets the actor observe and actuate the phone.
+	Tick(now time.Duration, ph *Phone)
+}
+
+// DefaultStep is the engine's integration step: 1 ms, finer than every
+// software period in the system (the fastest is the interactive
+// governor's 20 ms timer).
+const DefaultStep = time.Millisecond
+
+// Engine advances a Phone and its actors in lockstep.
+type Engine struct {
+	phone  *Phone
+	step   time.Duration
+	actors []scheduled
+}
+
+type scheduled struct {
+	actor Actor
+	next  time.Duration
+}
+
+// NewEngine creates an engine over the phone with the default step.
+func NewEngine(ph *Phone) *Engine {
+	return &Engine{phone: ph, step: DefaultStep}
+}
+
+// Phone returns the device under simulation.
+func (e *Engine) Phone() *Phone { return e.phone }
+
+// Register adds an actor. It returns an error if the actor's period is
+// not a positive multiple of the engine step.
+func (e *Engine) Register(a Actor) error {
+	p := a.Period()
+	if p <= 0 || p%e.step != 0 {
+		return fmt.Errorf("sim: actor %q period %v is not a positive multiple of step %v",
+			a.Name(), p, e.step)
+	}
+	e.actors = append(e.actors, scheduled{actor: a, next: e.phone.Now()})
+	return nil
+}
+
+// MustRegister is Register but panics on error; for experiment harnesses
+// with statically known periods.
+func (e *Engine) MustRegister(a Actor) {
+	if err := e.Register(a); err != nil {
+		panic(err)
+	}
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	Duration     time.Duration // simulated run time
+	EnergyJ      float64
+	AvgPowerW    float64
+	PeakPowerW   float64
+	GIPS         float64 // PMU-derived system GIPS over the run
+	Instructions float64
+	FGCompleted  bool    // foreground batch work finished
+	DroppedInstr float64 // paced work dropped by the foreground app
+	FreqChanges  int
+	BWChanges    int
+}
+
+// Run advances the simulation until `until` elapses (relative to the
+// current clock) or, if stopWhenFGDone, until the foreground task
+// completes. It returns run statistics measured over exactly the
+// interval it simulated.
+func (e *Engine) Run(until time.Duration, stopWhenFGDone bool) Stats {
+	ph := e.phone
+	start := ph.Now()
+	deadline := start + until
+
+	ph.Monitor().Start()
+	startSnap := ph.PMU().Snapshot()
+	dropsAtStart := ph.Foreground().DroppedInstr()
+	freqChangesAtStart := ph.FreqChanges()
+	bwChangesAtStart := ph.BWChanges()
+
+	for ph.Now() < deadline {
+		if stopWhenFGDone && ph.FGDone() {
+			break
+		}
+		now := ph.Now()
+		for i := range e.actors {
+			if now >= e.actors[i].next {
+				e.actors[i].actor.Tick(now, ph)
+				e.actors[i].next = now + e.actors[i].actor.Period()
+			}
+		}
+		ph.Step(e.step)
+	}
+
+	ph.Monitor().Stop()
+	endSnap := ph.PMU().Snapshot()
+	dur := ph.Now() - start
+	instr := endSnap.Delta(startSnap, pmu.Instructions)
+	st := Stats{
+		Duration:     dur,
+		EnergyJ:      ph.Monitor().EnergyJ(),
+		AvgPowerW:    ph.Monitor().AveragePowerW(),
+		PeakPowerW:   ph.Monitor().PeakPowerW(),
+		Instructions: instr,
+		FGCompleted:  ph.FGDone(),
+		DroppedInstr: ph.Foreground().DroppedInstr() - dropsAtStart,
+		FreqChanges:  ph.FreqChanges() - freqChangesAtStart,
+		BWChanges:    ph.BWChanges() - bwChangesAtStart,
+	}
+	if dur > 0 {
+		st.GIPS = instr / dur.Seconds() / 1e9
+	}
+	return st
+}
+
+// FixedConfigActor pins the device at one configuration — the profiler's
+// workhorse and the building block for `userspace`-style control in
+// tests.
+type FixedConfigActor struct {
+	FreqIdx, BWIdx int
+}
+
+// Name implements Actor.
+func (f *FixedConfigActor) Name() string { return "fixed-config" }
+
+// Period implements Actor.
+func (f *FixedConfigActor) Period() time.Duration { return 100 * time.Millisecond }
+
+// Tick pins the configuration.
+func (f *FixedConfigActor) Tick(_ time.Duration, ph *Phone) {
+	ph.SetFreqIdx(f.FreqIdx)
+	ph.SetBWIdx(f.BWIdx)
+}

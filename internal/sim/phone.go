@@ -1,0 +1,483 @@
+// Package sim is the fixed-step simulation engine: a Phone that executes
+// workload tasks under a chosen (CPU frequency, memory bandwidth)
+// configuration, accounts core time and memory traffic, evaluates the
+// power model, and exposes the same observation and actuation surfaces
+// software has on the real device — sysfs files, PMU counters, load
+// statistics and touch events.
+package sim
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"aspeo/internal/histogram"
+	"aspeo/internal/monsoon"
+	"aspeo/internal/perfmodel"
+	"aspeo/internal/pmu"
+	"aspeo/internal/power"
+	"aspeo/internal/soc"
+	"aspeo/internal/sysfs"
+	"aspeo/internal/trace"
+	"aspeo/internal/workload"
+)
+
+// Governor names understood by the cpufreq/devfreq trees.
+const (
+	GovInteractive  = "interactive"
+	GovOndemand     = "ondemand"
+	GovUserspace    = "userspace"
+	GovPerformance  = "performance"
+	GovPowersave    = "powersave"
+	GovCPUBWHwmon   = "cpubw_hwmon"
+	GovConservative = "conservative"
+)
+
+// Config bundles phone construction options.
+type Config struct {
+	SoC        *soc.SoC
+	Power      power.Params
+	Foreground *workload.Spec
+	Load       workload.BGLoad
+	Seed       int64
+	ScreenOn   bool
+	WiFiOn     bool
+	// Recorder decimation; 0 disables trace recording.
+	TraceEvery time.Duration
+}
+
+// Phone is the simulated device.
+type Phone struct {
+	soc   *soc.SoC
+	fs    *sysfs.FS
+	model *power.Model
+	pmu   *pmu.PMU
+	mon   *monsoon.Monitor
+
+	freqIdx    int
+	bwIdx      int
+	thermalCap int // max allowed freq index (thermal driver); -1 = none
+	load       workload.BGLoad
+
+	screenOn bool
+	wifiOn   bool
+
+	fg *workload.Task
+	bg []*workload.Task
+
+	now time.Duration
+
+	// Cumulative telemetry counters (governors snapshot and diff).
+	cumMachineBusySec float64 // aggregate machine-busy seconds
+	cumBusyCoreSec    float64 // OS-visible busy core-seconds
+	cumTrafficBytes   float64
+	pendingTouches    int
+	freqChanges       int
+	bwChanges         int
+
+	// Per-step transient state.
+	pendingOverlayJ float64 // one-shot overlay energy charged to the next step
+	standingOverlay float64 // persistent overlay (perf tool power cost)
+	perfOverheadCPU float64 // fraction of machine time eaten by perf
+
+	lastPowerW    float64
+	lastCPUPowerW float64
+	lastStepIPS   float64
+
+	cpuHist *histogram.Residency
+	bwHist  *histogram.Residency
+	rec     *trace.Recorder
+
+	fgDropsAtStart float64
+}
+
+// NewPhone builds a phone with the foreground app and the background
+// tasks of the load condition, wires the sysfs tree, and leaves the
+// governors set to the Android defaults (interactive + cpubw_hwmon).
+func NewPhone(cfg Config) (*Phone, error) {
+	if cfg.SoC == nil {
+		cfg.SoC = soc.Nexus6()
+	}
+	if err := cfg.SoC.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Foreground == nil {
+		return nil, fmt.Errorf("sim: no foreground app")
+	}
+	if err := cfg.Foreground.Validate(); err != nil {
+		return nil, err
+	}
+	if (cfg.Power == power.Params{}) {
+		cfg.Power = power.Default()
+	}
+	model, err := power.New(cfg.Power)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Phone{
+		thermalCap: -1,
+		soc:        cfg.SoC,
+		fs:         sysfs.New(),
+		model:      model,
+		pmu:        pmu.New(),
+		mon:        monsoon.Default(),
+		load:       cfg.Load,
+		screenOn:   cfg.ScreenOn,
+		wifiOn:     cfg.WiFiOn,
+		fg:         workload.NewTask(cfg.Foreground, cfg.Seed),
+		cpuHist:    histogram.New("cpu-frequency residency", len(cfg.SoC.CPUFreqs)),
+		bwHist:     histogram.New("memory-bandwidth residency", len(cfg.SoC.MemBWs)),
+	}
+	for i, spec := range workload.Background(cfg.Load, cfg.Foreground.Name) {
+		p.bg = append(p.bg, workload.NewTask(spec, cfg.Seed+int64(1000+i)))
+	}
+	if cfg.TraceEvery > 0 {
+		p.rec = trace.NewRecorder(cfg.TraceEvery)
+	}
+	p.buildSysfs()
+	return p, nil
+}
+
+// buildSysfs registers the cpufreq/devfreq file protocol.
+func (p *Phone) buildSysfs() {
+	s := p.soc
+	freqList := ""
+	for i := range s.CPUFreqs {
+		freqList += strconv.Itoa(freqKHz(s.Freq(i))) + " "
+	}
+	bwList := ""
+	for i := range s.MemBWs {
+		bwList += strconv.Itoa(int(s.BW(i).MBps())) + " "
+	}
+
+	p.fs.Create(sysfs.CPUScalingGovernor, GovInteractive, true)
+	p.fs.Create(sysfs.CPUScalingSetSpeed, strconv.Itoa(freqKHz(s.Freq(0))), true)
+	p.fs.Create(sysfs.CPUAvailableFreqs, freqList, false)
+	p.fs.Create(sysfs.CPUAvailableGovs, "interactive ondemand conservative userspace performance powersave", false)
+	p.fs.Create(sysfs.CPUScalingMinFreq, strconv.Itoa(freqKHz(s.Freq(0))), true)
+	p.fs.Create(sysfs.CPUScalingMaxFreq, strconv.Itoa(freqKHz(s.Freq(len(s.CPUFreqs)-1))), true)
+	p.fs.CreateDynamic(sysfs.CPUScalingCurFreq, func(string) string {
+		return strconv.Itoa(freqKHz(s.Freq(p.freqIdx)))
+	})
+	p.fs.CreateDynamic(sysfs.CPUInfoCurFreq, func(string) string {
+		return strconv.Itoa(freqKHz(s.Freq(p.freqIdx)))
+	})
+
+	p.fs.Create(sysfs.DevFreqGovernor, GovCPUBWHwmon, true)
+	p.fs.Create(sysfs.DevFreqSetFreq, strconv.Itoa(int(s.BW(0).MBps())), true)
+	p.fs.Create(sysfs.DevFreqAvailFreqs, bwList, false)
+	p.fs.Create(sysfs.DevFreqAvailGovs, "cpubw_hwmon userspace performance powersave", false)
+	p.fs.Create(sysfs.DevFreqMinFreq, strconv.Itoa(int(s.BW(0).MBps())), true)
+	p.fs.Create(sysfs.DevFreqMaxFreq, strconv.Itoa(int(s.BW(len(s.MemBWs)-1).MBps())), true)
+	p.fs.CreateDynamic(sysfs.DevFreqCurFreq, func(string) string {
+		return strconv.Itoa(int(s.BW(p.bwIdx).MBps()))
+	})
+
+	p.fs.CreateDynamic(sysfs.ProcLoadAvg, func(string) string {
+		return fmt.Sprintf("%.2f %.2f %.2f 2/812 12345", p.load.LoadAvg(), p.load.LoadAvg(), p.load.LoadAvg())
+	})
+	p.fs.Create(sysfs.ProcMemInfoFreeMB, strconv.Itoa(p.load.FreeMemMB()), false)
+	p.fs.Create(sysfs.MPDecisionEnabled, "0", true) // hotplug disabled, as in §IV-A
+	p.fs.Create(sysfs.TouchBoostEnabled, "0", true) // kernel touch boost disabled
+
+	// Userspace actuation paths: writing setspeed applies only when the
+	// matching governor is "userspace", exactly like the kernel.
+	p.fs.OnWrite(sysfs.CPUScalingSetSpeed, func(_, _, val string) error {
+		gov, _ := p.fs.Read(sysfs.CPUScalingGovernor)
+		if gov != GovUserspace {
+			return fmt.Errorf("scaling_setspeed: governor is %q, not userspace", gov)
+		}
+		khz, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("scaling_setspeed: %w", err)
+		}
+		p.SetFreqIdx(p.soc.NearestFreqIdx(soc.Freq(float64(khz) / 1e6)))
+		return nil
+	})
+	p.fs.OnWrite(sysfs.DevFreqSetFreq, func(_, _, val string) error {
+		gov, _ := p.fs.Read(sysfs.DevFreqGovernor)
+		if gov != GovUserspace {
+			return fmt.Errorf("devfreq set_freq: governor is %q, not userspace", gov)
+		}
+		mbps, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("devfreq set_freq: %w", err)
+		}
+		p.SetBWIdx(p.soc.NearestBWIdx(soc.Bandwidth(mbps)))
+		return nil
+	})
+}
+
+// freqKHz converts a ladder frequency to the kHz integer cpufreq uses.
+func freqKHz(f soc.Freq) int { return int(f.GHz()*1e6 + 0.5) }
+
+// --- Accessors ---
+
+// SoC returns the chip description.
+func (p *Phone) SoC() *soc.SoC { return p.soc }
+
+// FS returns the sysfs tree.
+func (p *Phone) FS() *sysfs.FS { return p.fs }
+
+// PMU returns the hardware counters.
+func (p *Phone) PMU() *pmu.PMU { return p.pmu }
+
+// Monitor returns the attached power monitor.
+func (p *Phone) Monitor() *monsoon.Monitor { return p.mon }
+
+// Now returns the simulation clock.
+func (p *Phone) Now() time.Duration { return p.now }
+
+// CurFreqIdx returns the current CPU frequency ladder index.
+func (p *Phone) CurFreqIdx() int { return p.freqIdx }
+
+// CurBWIdx returns the current bandwidth ladder index.
+func (p *Phone) CurBWIdx() int { return p.bwIdx }
+
+// Foreground returns the foreground task.
+func (p *Phone) Foreground() *workload.Task { return p.fg }
+
+// BackgroundTasks returns the background tasks.
+func (p *Phone) BackgroundTasks() []*workload.Task { return p.bg }
+
+// CPUHistogram returns the CPU-frequency residency accumulated so far.
+func (p *Phone) CPUHistogram() *histogram.Residency { return p.cpuHist }
+
+// BWHistogram returns the bandwidth residency accumulated so far.
+func (p *Phone) BWHistogram() *histogram.Residency { return p.bwHist }
+
+// Recorder returns the trace recorder (nil when tracing is disabled).
+func (p *Phone) Recorder() *trace.Recorder { return p.rec }
+
+// FreqChanges returns how many CPU frequency transitions happened.
+func (p *Phone) FreqChanges() int { return p.freqChanges }
+
+// BWChanges returns how many bandwidth transitions happened.
+func (p *Phone) BWChanges() int { return p.bwChanges }
+
+// LastPowerW returns the device power of the last step.
+func (p *Phone) LastPowerW() float64 { return p.lastPowerW }
+
+// LastStepGIPS returns the instantaneous performance of the last step.
+func (p *Phone) LastStepGIPS() float64 { return p.lastStepIPS / 1e9 }
+
+// --- Actuation (governors and sysfs hooks call these) ---
+
+// SetFreqIdx changes the CPU frequency (all four cores, as in §IV-A).
+// A thermal cap, when set, bounds the request like the kernel's thermal
+// driver bounding policy->max.
+func (p *Phone) SetFreqIdx(i int) {
+	i = p.soc.ClampFreqIdx(i)
+	if p.thermalCap >= 0 && i > p.thermalCap {
+		i = p.thermalCap
+	}
+	if i != p.freqIdx {
+		p.freqIdx = i
+		p.freqChanges++
+		// Paper §V-A1 reports a 14 mW average actuation overhead while
+		// the controller runs (a handful of transitions per 2 s cycle);
+		// that corresponds to a few millijoules per transition.
+		p.pendingOverlayJ += 5e-3
+	}
+}
+
+// SetBWIdx changes the memory bandwidth vote.
+func (p *Phone) SetBWIdx(i int) {
+	i = p.soc.ClampBWIdx(i)
+	if i != p.bwIdx {
+		p.bwIdx = i
+		p.bwChanges++
+	}
+}
+
+// SetThermalCapIdx bounds the CPU frequency to ladder index i (the
+// thermal driver's mitigation); pass a negative value to lift the cap.
+// An active cap is applied immediately.
+func (p *Phone) SetThermalCapIdx(i int) {
+	if i < 0 {
+		p.thermalCap = -1
+		return
+	}
+	p.thermalCap = p.soc.ClampFreqIdx(i)
+	if p.freqIdx > p.thermalCap {
+		p.SetFreqIdx(p.thermalCap)
+	}
+}
+
+// ThermalCapIdx returns the active cap, or -1 when none.
+func (p *Phone) ThermalCapIdx() int { return p.thermalCap }
+
+// LastCPUPowerW returns the CPU component (dynamic + leakage) of the last
+// step's power — the heat source for thermal models.
+func (p *Phone) LastCPUPowerW() float64 { return p.lastCPUPowerW }
+
+// AddOverlayEnergyJ charges a one-shot instrumentation energy cost
+// (controller compute, actuation) to the next step.
+func (p *Phone) AddOverlayEnergyJ(j float64) {
+	if j > 0 {
+		p.pendingOverlayJ += j
+	}
+}
+
+// SetStandingOverlayW sets a persistent instrumentation power draw
+// (e.g. the perf tool's sampling cost).
+func (p *Phone) SetStandingOverlayW(w float64) { p.standingOverlay = w }
+
+// SetPerfOverheadFrac reserves a fraction of machine time for the perf
+// tool's own computation (40% at a 100 ms sampling period, 4% at 1 s —
+// paper §IV-B).
+func (p *Phone) SetPerfOverheadFrac(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	if f > 0.9 {
+		f = 0.9
+	}
+	p.perfOverheadCPU = f
+}
+
+// --- Telemetry (governors snapshot and diff) ---
+
+// CumMachineBusySec returns cumulative aggregate machine-busy seconds —
+// the basis for the load the governors compute.
+func (p *Phone) CumMachineBusySec() float64 { return p.cumMachineBusySec }
+
+// CumBusyCoreSec returns cumulative OS-visible busy core-seconds.
+func (p *Phone) CumBusyCoreSec() float64 { return p.cumBusyCoreSec }
+
+// CumTrafficBytes returns cumulative DRAM traffic.
+func (p *Phone) CumTrafficBytes() float64 { return p.cumTrafficBytes }
+
+// TakeTouches drains and returns pending input events.
+func (p *Phone) TakeTouches() int {
+	n := p.pendingTouches
+	p.pendingTouches = 0
+	return n
+}
+
+// FGDone reports whether the foreground task completed.
+func (p *Phone) FGDone() bool { return p.fg.Done() }
+
+// --- Simulation step ---
+
+// Step advances the device by dt: tasks demand work, the machine executes
+// within its capacity at the current configuration, and power/energy/
+// telemetry are accounted.
+func (p *Phone) Step(dt time.Duration) {
+	s := p.soc
+	f := s.Freq(p.freqIdx)
+	v := s.Voltage(p.freqIdx)
+	bw := s.BW(p.bwIdx)
+	dtSec := dt.Seconds()
+
+	// The perf tool eats a slice of the machine before apps run.
+	avail := dtSec * (1 - p.perfOverheadCPU)
+	perfBusy := dtSec * p.perfOverheadCPU
+
+	pressure := p.load.BPIPressure()
+	var (
+		machineUsed  = perfBusy
+		activeSec    = perfBusy // perf's own work is compute
+		stalledSec   float64
+		trafficBytes float64
+		instrRetired float64
+		auxW         float64
+		netBps       float64
+	)
+
+	tasks := make([]*workload.Task, 0, 1+len(p.bg))
+	tasks = append(tasks, p.fg)
+	tasks = append(tasks, p.bg...)
+
+	for _, task := range tasks {
+		if task.Done() {
+			continue
+		}
+		d := task.Demand(dt)
+		tr := d.Traits
+		tr.BPI *= pressure
+		spi := tr.SecPerInstr(s, f, bw)
+		maxInstr := avail / spi
+		exec := d.WantedInstr
+		if exec > maxInstr {
+			exec = maxInstr
+		}
+		acc := tr.Execute(s, f, bw, exec)
+		wall := exec * spi
+		avail -= wall
+		machineUsed += wall
+		activeSec += acc.ActiveSec
+		stalledSec += acc.StalledSec
+		trafficBytes += acc.TrafficBytes
+		instrRetired += exec
+		auxW += d.AuxBaseW + d.AuxWPerGIPS*(exec/dtSec)/1e9
+		netBps += d.NetBps
+		task.Advance(exec, dt)
+		p.pendingTouches += task.Touches(dt)
+		if avail <= 0 {
+			avail = 0
+		}
+	}
+
+	// Traffic cannot exceed the provisioned bus bandwidth; speculative
+	// prefetches beyond it are simply dropped.
+	if maxBytes := bw.BytesPerSec() * dtSec; trafficBytes > maxBytes {
+		trafficBytes = maxBytes
+	}
+
+	// Clamp OS-visible core time to physical cores.
+	maxCoreSec := float64(s.NumCores) * dtSec
+	if activeSec+stalledSec > maxCoreSec {
+		scale := maxCoreSec / (activeSec + stalledSec)
+		activeSec *= scale
+		stalledSec *= scale
+	}
+
+	in := power.Input{
+		FreqGHz:        f.GHz(),
+		Voltage:        v,
+		ActiveCoreSec:  activeSec / dtSec,
+		StalledCoreSec: stalledSec / dtSec,
+		CoresOnline:    s.NumCores,
+		BWMBps:         bw.MBps(),
+		TrafficBps:     trafficBytes / dtSec,
+		ScreenOn:       p.screenOn,
+		WiFiOn:         p.wifiOn,
+		WiFiBps:        netBps,
+		AuxW:           auxW,
+		OverlayW:       p.standingOverlay + p.pendingOverlayJ/dtSec,
+	}
+	bd := p.model.Compute(in)
+	p.lastPowerW = bd.Total()
+	p.lastCPUPowerW = bd.CPUDynamic + bd.CPULeak
+	p.pendingOverlayJ = 0
+
+	p.pmu.Add(pmu.Instructions, instrRetired)
+	p.pmu.Add(pmu.Cycles, activeSec*f.Hz())
+	p.pmu.Add(pmu.BusAccessBytes, trafficBytes)
+
+	p.cumMachineBusySec += machineUsed
+	p.cumBusyCoreSec += activeSec + stalledSec
+	p.cumTrafficBytes += trafficBytes
+	p.lastStepIPS = instrRetired / dtSec
+
+	p.cpuHist.Add(p.freqIdx, dt)
+	p.bwHist.Add(p.bwIdx, dt)
+	p.mon.Observe(p.lastPowerW, dt)
+	if p.rec != nil {
+		p.rec.Observe(trace.Point{
+			T: p.now, FreqIdx: p.freqIdx, BWIdx: p.bwIdx,
+			PowerW: p.lastPowerW, GIPS: p.lastStepIPS / 1e9,
+		})
+	}
+	p.now += dt
+}
+
+// traitsOfForeground is a test hook exposing the foreground's current
+// traits with load pressure applied.
+func (p *Phone) traitsOfForeground() perfmodel.Traits {
+	tr := p.fg.Phase().Traits
+	tr.BPI *= p.load.BPIPressure()
+	return tr
+}

@@ -1,0 +1,146 @@
+// Package stats provides the small set of statistics helpers used by the
+// profiler, the experiment harness and the report generators: means,
+// standard deviations, percentage deltas and weighted aggregation.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by aggregations over empty samples.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// WeightedMean returns sum(w_i*x_i)/sum(w_i). It returns 0 when the total
+// weight is zero.
+func WeightedMean(xs, ws []float64) float64 {
+	if len(xs) != len(ws) {
+		panic("stats: WeightedMean length mismatch")
+	}
+	var sw, swx float64
+	for i, x := range xs {
+		sw += ws[i]
+		swx += ws[i] * x
+	}
+	if sw == 0 {
+		return 0
+	}
+	return swx / sw
+}
+
+// Variance returns the population variance of xs (not Bessel-corrected),
+// or 0 for fewer than two samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty sample")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty sample")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs, interpolating for even-length samples.
+// It panics on an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Median of empty sample")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// PctDelta returns the relative difference of got vs ref in percent:
+// 100*(got-ref)/ref. A zero reference yields 0 to keep report tables sane.
+func PctDelta(got, ref float64) float64 {
+	if ref == 0 {
+		return 0
+	}
+	return 100 * (got - ref) / ref
+}
+
+// Savings returns the percentage by which got improves on (is lower than)
+// ref: 100*(ref-got)/ref. Positive means got consumed less.
+func Savings(got, ref float64) float64 {
+	if ref == 0 {
+		return 0
+	}
+	return 100 * (ref - got) / ref
+}
+
+// Lerp linearly interpolates between a and b: Lerp(a,b,0)=a, Lerp(a,b,1)=b.
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ApproxEqual reports whether a and b differ by no more than tol in
+// absolute terms or 1e-9 relative terms, whichever is larger.
+func ApproxEqual(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
+}

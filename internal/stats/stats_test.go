@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{4}, 4},
+		{"pair", []float64{2, 4}, 3},
+		{"negative", []float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Mean(c.in); got != c.want {
+				t.Fatalf("Mean(%v) = %v, want %v", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	got := WeightedMean([]float64{1, 3}, []float64{1, 3})
+	if want := 2.5; got != want {
+		t.Fatalf("WeightedMean = %v, want %v", got, want)
+	}
+	if got := WeightedMean([]float64{1, 2}, []float64{0, 0}); got != 0 {
+		t.Fatalf("WeightedMean with zero weight = %v, want 0", got)
+	}
+}
+
+func TestWeightedMeanPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	WeightedMean([]float64{1}, []float64{1, 2})
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); got != 4 {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if got := Variance([]float64{1}); got != 0 {
+		t.Fatalf("Variance singleton = %v, want 0", got)
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if got := Min(xs); got != 1 {
+		t.Fatalf("Min = %v", got)
+	}
+	if got := Max(xs); got != 5 {
+		t.Fatalf("Max = %v", got)
+	}
+	if got := Median(xs); got != 3 {
+		t.Fatalf("Median odd = %v", got)
+	}
+	if got := Median([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Median even = %v", got)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Median mutated input: %v", xs)
+	}
+}
+
+func TestPctDeltaAndSavings(t *testing.T) {
+	if got := PctDelta(110, 100); got != 10 {
+		t.Fatalf("PctDelta = %v", got)
+	}
+	if got := PctDelta(5, 0); got != 0 {
+		t.Fatalf("PctDelta zero ref = %v", got)
+	}
+	if got := Savings(75, 100); got != 25 {
+		t.Fatalf("Savings = %v", got)
+	}
+	if got := Savings(5, 0); got != 0 {
+		t.Fatalf("Savings zero ref = %v", got)
+	}
+}
+
+func TestLerpClamp(t *testing.T) {
+	if got := Lerp(2, 4, 0.5); got != 3 {
+		t.Fatalf("Lerp = %v", got)
+	}
+	if got := Clamp(5, 0, 3); got != 3 {
+		t.Fatalf("Clamp high = %v", got)
+	}
+	if got := Clamp(-5, 0, 3); got != 0 {
+		t.Fatalf("Clamp low = %v", got)
+	}
+	if got := Clamp(1, 0, 3); got != 1 {
+		t.Fatalf("Clamp mid = %v", got)
+	}
+}
+
+// Property: mean is bounded by min and max.
+func TestMeanBoundedProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		m := Mean(clean)
+		return m >= Min(clean)-1e-6 && m <= Max(clean)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Lerp endpoints reproduce the inputs.
+func TestLerpEndpointsProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.Abs(a) > 1e150 || math.Abs(b) > 1e150 {
+			return true // b-a overflows; Lerp documents finite inputs
+		}
+		return Lerp(a, b, 0) == a && Lerp(a, b, 1) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(1.0, 1.0+1e-12, 1e-9) {
+		t.Fatal("expected approx equal for tiny diff")
+	}
+	if ApproxEqual(1.0, 2.0, 1e-9) {
+		t.Fatal("expected not equal")
+	}
+	if !ApproxEqual(1e15, 1e15+1, 0) {
+		t.Fatal("expected relative tolerance to kick in")
+	}
+}

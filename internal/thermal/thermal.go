@@ -1,0 +1,155 @@
+// Package thermal models the SoC's junction temperature and the kernel's
+// thermal mitigation (the msm_thermal driver the paper's platform runs).
+//
+// The temperature follows a first-order RC model driven by CPU power:
+//
+//	C_th · dT/dt = P_cpu − (T − T_amb)/R_th
+//
+// and a stepping throttler caps the CPU frequency ladder when the
+// junction crosses its trip point, releasing the cap with hysteresis —
+// the behaviour that silently distorts sustained-workload measurements
+// on real phones, and one more reason the paper pinned its measurement
+// conditions so carefully.
+package thermal
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"aspeo/internal/sim"
+)
+
+// Params describe the thermal circuit and the mitigation policy.
+type Params struct {
+	AmbientC    float64 // ambient temperature
+	RthCPerW    float64 // junction-to-ambient thermal resistance
+	TauSec      float64 // RC time constant
+	TripC       float64 // throttling starts above this junction temp
+	ReleaseC    float64 // cap lifts one step below this temp (hysteresis)
+	StepPeriod  time.Duration
+	StepsPerHit int // ladder steps removed per evaluation over trip
+}
+
+// DefaultParams approximate a passively cooled phone SoC: ~25 °C ambient,
+// ~12 °C/W to ambient, a ~20 s time constant, and a 75/70 °C trip window.
+func DefaultParams() Params {
+	return Params{
+		AmbientC:    25,
+		RthCPerW:    12,
+		TauSec:      20,
+		TripC:       75,
+		ReleaseC:    70,
+		StepPeriod:  250 * time.Millisecond,
+		StepsPerHit: 1,
+	}
+}
+
+// Validate checks physical plausibility.
+func (p Params) Validate() error {
+	if p.RthCPerW <= 0 || p.TauSec <= 0 {
+		return fmt.Errorf("thermal: non-positive Rth/tau")
+	}
+	if p.TripC <= p.ReleaseC {
+		return fmt.Errorf("thermal: trip %v must exceed release %v", p.TripC, p.ReleaseC)
+	}
+	if p.StepPeriod <= 0 || p.StepsPerHit < 1 {
+		return fmt.Errorf("thermal: bad stepping policy")
+	}
+	return nil
+}
+
+// Monitor integrates the junction temperature and applies mitigation. It
+// implements sim.Actor.
+type Monitor struct {
+	p Params
+
+	tempC     float64
+	capIdx    int // -1 = uncapped
+	lastTick  time.Duration
+	first     bool
+	throttled time.Duration // cumulative time spent with a cap active
+	peakC     float64
+}
+
+// New creates a monitor at ambient temperature.
+func New(p Params) (*Monitor, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Monitor{p: p, tempC: p.AmbientC, capIdx: -1, first: true, peakC: p.AmbientC}, nil
+}
+
+// MustNew is New but panics on invalid parameters.
+func MustNew(p Params) *Monitor {
+	m, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Name implements sim.Actor.
+func (m *Monitor) Name() string { return "msm_thermal" }
+
+// Period implements sim.Actor.
+func (m *Monitor) Period() time.Duration { return m.p.StepPeriod }
+
+// TempC returns the current junction temperature.
+func (m *Monitor) TempC() float64 { return m.tempC }
+
+// PeakC returns the maximum junction temperature observed.
+func (m *Monitor) PeakC() float64 { return m.peakC }
+
+// CapIdx returns the active frequency cap, or -1.
+func (m *Monitor) CapIdx() int { return m.capIdx }
+
+// ThrottledFor returns cumulative time spent with mitigation active.
+func (m *Monitor) ThrottledFor() time.Duration { return m.throttled }
+
+// Tick implements sim.Actor: integrate the RC model over the elapsed
+// interval and step the mitigation.
+func (m *Monitor) Tick(now time.Duration, ph *sim.Phone) {
+	if m.first {
+		m.first = false
+		m.lastTick = now
+		return
+	}
+	dt := (now - m.lastTick).Seconds()
+	m.lastTick = now
+	if dt <= 0 {
+		return
+	}
+	// Exact solution of the first-order ODE over dt at constant power.
+	steady := m.p.AmbientC + ph.LastCPUPowerW()*m.p.RthCPerW
+	alpha := 1 - math.Exp(-dt/m.p.TauSec)
+	m.tempC += (steady - m.tempC) * alpha
+	if m.tempC > m.peakC {
+		m.peakC = m.tempC
+	}
+
+	switch {
+	case m.tempC >= m.p.TripC:
+		// Step the cap down from the current operating point.
+		cur := ph.CurFreqIdx()
+		next := cur - m.p.StepsPerHit
+		if m.capIdx >= 0 && m.capIdx-m.p.StepsPerHit < next {
+			next = m.capIdx - m.p.StepsPerHit
+		}
+		if next < 0 {
+			next = 0
+		}
+		m.capIdx = next
+		ph.SetThermalCapIdx(m.capIdx)
+	case m.tempC <= m.p.ReleaseC && m.capIdx >= 0:
+		// Release one step at a time; fully uncap at the top.
+		m.capIdx += m.p.StepsPerHit
+		if m.capIdx >= len(ph.SoC().CPUFreqs)-1 {
+			m.capIdx = -1
+		}
+		ph.SetThermalCapIdx(m.capIdx)
+	}
+	if m.capIdx >= 0 {
+		m.throttled += time.Duration(dt * float64(time.Second))
+	}
+}

@@ -1,0 +1,182 @@
+package thermal
+
+import (
+	"testing"
+	"time"
+
+	"aspeo/internal/perfmodel"
+	"aspeo/internal/sim"
+	"aspeo/internal/workload"
+)
+
+func TestParamsValidation(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultParams()
+	bad.RthCPerW = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero Rth accepted")
+	}
+	bad = DefaultParams()
+	bad.ReleaseC = bad.TripC
+	if err := bad.Validate(); err == nil {
+		t.Fatal("trip <= release accepted")
+	}
+	bad = DefaultParams()
+	bad.StepsPerHit = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+	if _, err := New(bad); err == nil {
+		t.Fatal("New accepted invalid params")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	bad := DefaultParams()
+	bad.TauSec = -1
+	MustNew(bad)
+}
+
+// burner is a batch workload that saturates the CPU.
+func burner() *workload.Spec {
+	return &workload.Spec{
+		Name: "burner",
+		Phases: []workload.Phase{{
+			Name: "burn", Kind: workload.Batch,
+			Traits:      perfmodel.Traits{CPI: 1.2, BPI: 0.2, Par: 4, Overlap: 0.1},
+			InstrBudget: 1e15,
+		}},
+		RunFor: time.Hour,
+	}
+}
+
+func newRig(t *testing.T, p Params) (*sim.Phone, *sim.Engine, *Monitor) {
+	t.Helper()
+	ph, err := sim.NewPhone(sim.Config{
+		Foreground: burner(), Load: workload.NoLoad, Seed: 1, ScreenOn: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(ph)
+	m := MustNew(p)
+	eng.MustRegister(m)
+	return ph, eng, m
+}
+
+func TestHeatsUnderLoadCoolsWhenIdle(t *testing.T) {
+	p := DefaultParams()
+	p.TripC = 1000 // never throttle in this test
+	p.ReleaseC = 999
+	_, eng, m := newRig(t, p)
+	pin := &sim.FixedConfigActor{FreqIdx: 17, BWIdx: 12}
+	eng.MustRegister(pin)
+	eng.Run(60*time.Second, false)
+	hot := m.TempC()
+	if hot < p.AmbientC+20 {
+		t.Fatalf("full 4-core load only reached %.1f °C", hot)
+	}
+	// Drop to the lowest frequency: the junction must cool.
+	pin.FreqIdx = 0
+	eng.Run(60*time.Second, false)
+	if m.TempC() > hot-10 {
+		t.Fatalf("did not cool: %.1f -> %.1f", hot, m.TempC())
+	}
+}
+
+func TestSteadyStateTemperature(t *testing.T) {
+	// At ~1 W CPU power and 12 °C/W the junction should settle near
+	// ambient + 12 °C.
+	p := DefaultParams()
+	p.TripC = 1000
+	p.ReleaseC = 999
+	_, eng, m := newRig(t, p)
+	eng.MustRegister(&sim.FixedConfigActor{FreqIdx: 8, BWIdx: 6})
+	eng.Run(150*time.Second, false) // ≫ tau
+	got := m.TempC()
+	if got < p.AmbientC+3 || got > p.AmbientC+35 {
+		t.Fatalf("steady temp %.1f °C implausible", got)
+	}
+	if m.PeakC() < got-0.5 {
+		t.Fatalf("peak %.1f below final %.1f", m.PeakC(), got)
+	}
+}
+
+func TestThrottlesAtTrip(t *testing.T) {
+	p := DefaultParams()
+	p.TripC = 45 // low trip so the test is quick
+	p.ReleaseC = 40
+	ph, eng, m := newRig(t, p)
+	eng.MustRegister(&sim.FixedConfigActor{FreqIdx: 17, BWIdx: 12})
+	eng.Run(120*time.Second, false)
+	if m.CapIdx() < 0 {
+		t.Fatalf("never throttled at %.1f °C (trip %v)", m.TempC(), p.TripC)
+	}
+	if ph.CurFreqIdx() > m.CapIdx() {
+		t.Fatalf("frequency %d above the cap %d", ph.CurFreqIdx(), m.CapIdx())
+	}
+	if m.ThrottledFor() == 0 {
+		t.Fatal("no throttled time accounted")
+	}
+	// Mitigation must actually bound the temperature near the trip.
+	if m.TempC() > p.TripC+8 {
+		t.Fatalf("temperature ran away to %.1f °C despite mitigation", m.TempC())
+	}
+}
+
+func TestCapReleasesWithHysteresis(t *testing.T) {
+	p := DefaultParams()
+	p.TripC = 45
+	p.ReleaseC = 40
+	ph, eng, m := newRig(t, p)
+	pin := &sim.FixedConfigActor{FreqIdx: 17, BWIdx: 12}
+	eng.MustRegister(pin)
+	eng.Run(120*time.Second, false)
+	if m.CapIdx() < 0 {
+		t.Skip("did not throttle; nothing to release")
+	}
+	// Pin to the lowest frequency: heat source gone, cap must lift.
+	pin.FreqIdx = 0
+	eng.Run(240*time.Second, false)
+	if m.CapIdx() >= 0 {
+		t.Fatalf("cap %d never released at %.1f °C", m.CapIdx(), m.TempC())
+	}
+	// And the phone can reach the top again.
+	ph.SetFreqIdx(17)
+	if got := ph.CurFreqIdx(); got != 17 {
+		t.Fatalf("freq stuck at %d after release", got)
+	}
+}
+
+func TestThermalCapClampsSetFreq(t *testing.T) {
+	ph, _, _ := newRig(t, DefaultParams())
+	ph.SetThermalCapIdx(5)
+	ph.SetFreqIdx(17)
+	if got := ph.CurFreqIdx(); got != 5 {
+		t.Fatalf("cap not enforced: %d", got)
+	}
+	if got := ph.ThermalCapIdx(); got != 5 {
+		t.Fatalf("ThermalCapIdx = %d", got)
+	}
+	ph.SetThermalCapIdx(-1)
+	ph.SetFreqIdx(17)
+	if got := ph.CurFreqIdx(); got != 17 {
+		t.Fatalf("cap not lifted: %d", got)
+	}
+}
+
+func TestCapAppliesImmediately(t *testing.T) {
+	ph, _, _ := newRig(t, DefaultParams())
+	ph.SetFreqIdx(17)
+	ph.SetThermalCapIdx(3)
+	if got := ph.CurFreqIdx(); got != 3 {
+		t.Fatalf("active cap did not pull the frequency down: %d", got)
+	}
+}

@@ -1,0 +1,74 @@
+// Package trace records time series of a simulation run: the chosen CPU
+// frequency and memory bandwidth, instantaneous power, and measured
+// performance. The experiment harness derives residency histograms,
+// averages and CSV exports from these records.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Point is one sample of the run state.
+type Point struct {
+	T       time.Duration // simulation time
+	FreqIdx int           // CPU frequency ladder index (0-based)
+	BWIdx   int           // memory bandwidth ladder index (0-based)
+	PowerW  float64       // instantaneous device power
+	GIPS    float64       // instantaneous performance
+}
+
+// Recorder accumulates points at a fixed decimation interval.
+type Recorder struct {
+	every  time.Duration
+	next   time.Duration
+	points []Point
+}
+
+// NewRecorder records one point per `every` of simulated time. A zero or
+// negative interval records every observation.
+func NewRecorder(every time.Duration) *Recorder {
+	return &Recorder{every: every}
+}
+
+// Observe offers a sample; it is kept if the decimation interval elapsed.
+func (r *Recorder) Observe(p Point) {
+	if r.every > 0 && p.T < r.next {
+		return
+	}
+	r.points = append(r.points, p)
+	if r.every > 0 {
+		r.next = p.T + r.every
+	}
+}
+
+// Points returns the recorded series.
+func (r *Recorder) Points() []Point { return r.points }
+
+// Len returns the number of recorded points.
+func (r *Recorder) Len() int { return len(r.points) }
+
+// WriteCSV emits the series as CSV with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t_s", "freq_idx", "bw_idx", "power_w", "gips"}); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, p := range r.points {
+		rec := []string{
+			strconv.FormatFloat(p.T.Seconds(), 'f', 3, 64),
+			strconv.Itoa(p.FreqIdx + 1),
+			strconv.Itoa(p.BWIdx + 1),
+			strconv.FormatFloat(p.PowerW, 'f', 4, 64),
+			strconv.FormatFloat(p.GIPS, 'f', 4, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

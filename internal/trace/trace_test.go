@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecordsEverythingWithoutDecimation(t *testing.T) {
+	r := NewRecorder(0)
+	for i := 0; i < 10; i++ {
+		r.Observe(Point{T: time.Duration(i) * time.Millisecond})
+	}
+	if got := r.Len(); got != 10 {
+		t.Fatalf("Len = %d", got)
+	}
+}
+
+func TestDecimation(t *testing.T) {
+	r := NewRecorder(100 * time.Millisecond)
+	for i := 0; i < 1000; i++ {
+		r.Observe(Point{T: time.Duration(i) * time.Millisecond, PowerW: float64(i)})
+	}
+	if got := r.Len(); got != 10 {
+		t.Fatalf("Len = %d, want 10", got)
+	}
+	pts := r.Points()
+	if pts[0].T != 0 || pts[1].T != 100*time.Millisecond {
+		t.Fatalf("decimation points wrong: %v %v", pts[0].T, pts[1].T)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder(0)
+	r.Observe(Point{T: 1500 * time.Millisecond, FreqIdx: 9, BWIdx: 0, PowerW: 1.75, GIPS: 0.129})
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "t_s,freq_idx,bw_idx,power_w,gips" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// Indices are 1-based in the export, matching the paper's tables.
+	if lines[1] != "1.500,10,1,1.7500,0.1290" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestWriteCSVEmpty(t *testing.T) {
+	r := NewRecorder(0)
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(b.String()); got != "t_s,freq_idx,bw_idx,power_w,gips" {
+		t.Fatalf("empty CSV = %q", got)
+	}
+}

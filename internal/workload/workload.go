@@ -1,0 +1,374 @@
+// Package workload models the applications the paper evaluates and the
+// background loads they run against.
+//
+// Each application is a Spec: a looped sequence of phases, where a phase
+// is either *paced* (the app wants a target instruction rate — game
+// loops, video frames, audio buffers; unmet demand accumulates in a small
+// backlog and surplus capacity idles) or *batch* (the app consumes all
+// capacity until an instruction budget is done — transcoding, page
+// loads). Phases carry the architectural traits (perfmodel.Traits) that
+// determine how fast they run at each system configuration, plus the
+// power coupling of non-CPU units (GPU render, hardware codecs, camera,
+// radio) that the Monsoon measures but DVFS does not control.
+//
+// The six evaluated apps (VidCon, MobileBench, AngryBirds, WeChat video
+// call, MX Player, Spotify) are calibrated to the paper's anchors: base
+// speeds (AngryBirds 0.129 GIPS, VidCon 0.471 GIPS at the lowest
+// configuration), saturation knees ("no GIPS improvement beyond CPU
+// frequency No. 5" for AngryBirds), excluded frequency ranges, and run
+// lengths. The eBook reader used for the paper's Figure 1 is included as
+// a seventh spec.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"aspeo/internal/perfmodel"
+)
+
+// Kind distinguishes how a phase consumes the machine.
+type Kind int
+
+// Phase kinds.
+const (
+	// Paced phases want DemandGIPS instructions per second.
+	Paced Kind = iota
+	// Batch phases consume all available capacity until InstrBudget
+	// instructions have retired.
+	Batch
+)
+
+func (k Kind) String() string {
+	if k == Batch {
+		return "batch"
+	}
+	return "paced"
+}
+
+// Phase is one stage of an application's execution.
+type Phase struct {
+	Name   string
+	Kind   Kind
+	Traits perfmodel.Traits
+
+	// Paced parameters.
+	Duration   time.Duration // phase length
+	DemandGIPS float64       // wanted instruction rate, GIPS
+	// DemandJitter is the σ of a mean-one lognormal multiplier on the
+	// paced demand; it models frame spikes and decode bursts. The
+	// multiplier is resampled every JitterPeriod (default 200 ms):
+	// short periods create the micro-bursts that trip the 20 ms-window
+	// default governor while washing out of the controller's 2 s
+	// averages.
+	DemandJitter float64
+	JitterPeriod time.Duration
+
+	// Batch parameters. A batch phase with Duration == 0 ends when
+	// InstrBudget instructions have retired (a transcode chunk, a page
+	// load). A batch phase with Duration > 0 is *windowed*: it lasts
+	// exactly Duration — the budget races to completion and the rest of
+	// the window idles (prefetch, sync bursts); budget not finished by
+	// the window's end is abandoned.
+	InstrBudget float64 // instructions to retire before the phase ends
+
+	// Power coupling of units DVFS does not control.
+	AuxBaseW    float64 // constant draw while the phase runs (codec, camera…)
+	AuxWPerGIPS float64 // draw proportional to achieved GIPS (GPU render)
+
+	// NetBps is network traffic while the phase runs (bytes/second).
+	NetBps float64
+
+	// TouchRate is user input events per second (Poisson); these drive
+	// the interactive governor's input boost.
+	TouchRate float64
+
+	// BacklogSec bounds how much unmet paced demand is buffered, in
+	// seconds of demand, before work is dropped. Games keep a few
+	// frames (~0.1 s); audio players buffer seconds. 0 means the
+	// package default.
+	BacklogSec float64
+}
+
+// Validate checks phase consistency.
+func (p Phase) Validate() error {
+	if err := p.Traits.Validate(); err != nil {
+		return fmt.Errorf("phase %q: %w", p.Name, err)
+	}
+	switch p.Kind {
+	case Paced:
+		if p.DemandGIPS <= 0 {
+			return fmt.Errorf("phase %q: paced phase needs positive DemandGIPS", p.Name)
+		}
+		if p.Duration <= 0 {
+			return fmt.Errorf("phase %q: paced phase needs positive Duration", p.Name)
+		}
+	case Batch:
+		if p.InstrBudget <= 0 {
+			return fmt.Errorf("phase %q: batch phase needs positive InstrBudget", p.Name)
+		}
+	default:
+		return fmt.Errorf("phase %q: unknown kind %d", p.Name, int(p.Kind))
+	}
+	if p.DemandJitter < 0 || p.BacklogSec < 0 || p.AuxBaseW < 0 || p.AuxWPerGIPS < 0 || p.NetBps < 0 || p.TouchRate < 0 {
+		return fmt.Errorf("phase %q: negative parameter", p.Name)
+	}
+	return nil
+}
+
+// Spec describes an application.
+type Spec struct {
+	Name   string
+	Phases []Phase
+
+	// Loop restarts the phase sequence when it completes.
+	Loop bool
+	// LoopCount bounds the number of phase-sequence iterations for
+	// looped apps that have a natural end (MobileBench's site list);
+	// 0 means unbounded.
+	LoopCount int
+	// RunFor is the nominal foreground session length for paced apps
+	// and a safety bound for batch apps.
+	RunFor time.Duration
+
+	// DeadlineCritical marks apps whose performance is reported via
+	// execution time rather than GIPS (paper Table III: VidCon,
+	// MobileBench, MX Player).
+	DeadlineCritical bool
+
+	// ProfileFreqIdxs are the 0-based CPU frequency ladder indices
+	// included in the offline profiling table — the paper's app-
+	// specific range restrictions (§V-A).
+	ProfileFreqIdxs []int
+
+	// Background marks specs that model background services.
+	Background bool
+}
+
+// Validate checks the spec.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("workload: spec needs a name")
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("workload %s: no phases", s.Name)
+	}
+	for _, p := range s.Phases {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("workload %s: %w", s.Name, err)
+		}
+	}
+	if s.RunFor <= 0 {
+		return fmt.Errorf("workload %s: RunFor must be positive", s.Name)
+	}
+	for _, i := range s.ProfileFreqIdxs {
+		if i < 0 || i > 17 {
+			return fmt.Errorf("workload %s: profile freq index %d out of range", s.Name, i)
+		}
+	}
+	return nil
+}
+
+// TotalBatchInstr returns the total instruction budget of one iteration
+// of the phase sequence (batch phases only).
+func (s *Spec) TotalBatchInstr() float64 {
+	sum := 0.0
+	for _, p := range s.Phases {
+		if p.Kind == Batch {
+			sum += p.InstrBudget
+		}
+	}
+	return sum
+}
+
+const defaultJitterPeriod = 200 * time.Millisecond
+
+// backlogCap bounds how much unmet paced demand may be buffered, in
+// seconds of demand. Real apps queue work elastically — decoded audio,
+// buffered frames, deferred physics ticks — and only visibly degrade when
+// starved for sustained periods.
+const defaultBacklogSec = 1.0
+
+// Task is a running instance of a Spec. It is a pure state machine: the
+// simulator asks for its Demand each step, executes some portion of it,
+// and reports the result to Advance.
+type Task struct {
+	Spec *Spec
+
+	rng          *rand.Rand
+	now          time.Duration
+	phaseIdx     int
+	phaseElapsed time.Duration
+	phaseExec    float64 // instructions retired in the current phase
+	totalExec    float64
+	loopsDone    int
+	done         bool
+
+	jitterMul   float64
+	jitterUntil time.Duration
+	backlog     float64 // unmet paced instructions carried over
+	dropped     float64 // paced instructions dropped at backlog overflow
+}
+
+// NewTask instantiates a spec with a deterministic seed.
+func NewTask(spec *Spec, seed int64) *Task {
+	return &Task{
+		Spec:      spec,
+		rng:       rand.New(rand.NewSource(seed)),
+		jitterMul: 1,
+	}
+}
+
+// Demand is what a task wants from the machine for one step.
+type Demand struct {
+	WantedInstr float64 // instructions the task would consume this step
+	Traits      perfmodel.Traits
+	AuxBaseW    float64
+	AuxWPerGIPS float64
+	NetBps      float64
+}
+
+// Phase returns the currently executing phase.
+func (t *Task) Phase() Phase { return t.Spec.Phases[t.phaseIdx] }
+
+// Done reports whether the task has finished (batch budget exhausted and
+// not looping, or loop count reached).
+func (t *Task) Done() bool { return t.done }
+
+// TotalExecuted returns instructions retired so far.
+func (t *Task) TotalExecuted() float64 { return t.totalExec }
+
+// DroppedInstr returns paced work dropped due to backlog overflow (missed
+// frames).
+func (t *Task) DroppedInstr() float64 { return t.dropped }
+
+// Now returns the task-local clock.
+func (t *Task) Now() time.Duration { return t.now }
+
+// Demand computes what the task wants for the next dt.
+func (t *Task) Demand(dt time.Duration) Demand {
+	if t.done {
+		return Demand{Traits: t.Spec.Phases[0].Traits}
+	}
+	p := t.Phase()
+	d := Demand{
+		Traits:      p.Traits,
+		AuxBaseW:    p.AuxBaseW,
+		AuxWPerGIPS: p.AuxWPerGIPS,
+		NetBps:      p.NetBps,
+	}
+	switch p.Kind {
+	case Batch:
+		d.WantedInstr = p.InstrBudget - t.phaseExec
+		if d.WantedInstr < 0 {
+			d.WantedInstr = 0
+		}
+	case Paced:
+		if t.now >= t.jitterUntil {
+			t.jitterMul = t.sampleJitter(p.DemandJitter)
+			jp := p.JitterPeriod
+			if jp <= 0 {
+				jp = defaultJitterPeriod
+			}
+			t.jitterUntil = t.now + jp
+		}
+		want := p.DemandGIPS * 1e9 * dt.Seconds() * t.jitterMul
+		d.WantedInstr = want + t.backlog
+	}
+	return d
+}
+
+// sampleJitter draws a mean-one lognormal multiplier with σ = sigma.
+func (t *Task) sampleJitter(sigma float64) float64 {
+	if sigma <= 0 {
+		return 1
+	}
+	return math.Exp(sigma*t.rng.NormFloat64() - sigma*sigma/2)
+}
+
+// Advance reports that `executed` instructions of the previous Demand ran
+// during dt, and moves the phase machine forward.
+func (t *Task) Advance(executed float64, dt time.Duration) {
+	if t.done {
+		return
+	}
+	p := t.Phase()
+	t.now += dt
+	t.phaseElapsed += dt
+	t.phaseExec += executed
+	t.totalExec += executed
+
+	if p.Kind == Paced {
+		want := p.DemandGIPS * 1e9 * dt.Seconds() * t.jitterMul
+		unmet := want + t.backlog - executed
+		if unmet < 0 {
+			unmet = 0
+		}
+		backlogSec := p.BacklogSec
+		if backlogSec <= 0 {
+			backlogSec = defaultBacklogSec
+		}
+		cap := p.DemandGIPS * 1e9 * backlogSec
+		if unmet > cap {
+			t.dropped += unmet - cap
+			unmet = cap
+		}
+		t.backlog = unmet
+	}
+
+	switch p.Kind {
+	case Batch:
+		if p.Duration > 0 {
+			// Windowed batch: fixed wall-clock window.
+			if t.phaseElapsed >= p.Duration {
+				if t.phaseExec < p.InstrBudget {
+					t.dropped += p.InstrBudget - t.phaseExec
+				}
+				t.nextPhase()
+			}
+		} else if t.phaseExec >= p.InstrBudget {
+			t.nextPhase()
+		}
+	case Paced:
+		if t.phaseElapsed >= p.Duration {
+			t.nextPhase()
+		}
+	}
+}
+
+func (t *Task) nextPhase() {
+	t.phaseIdx++
+	t.phaseElapsed = 0
+	t.phaseExec = 0
+	t.backlog = 0
+	if t.phaseIdx >= len(t.Spec.Phases) {
+		t.phaseIdx = 0
+		t.loopsDone++
+		if !t.Spec.Loop || (t.Spec.LoopCount > 0 && t.loopsDone >= t.Spec.LoopCount) {
+			t.done = true
+		}
+	}
+}
+
+// Touches returns the number of user-input events during dt (Poisson
+// with the phase's TouchRate).
+func (t *Task) Touches(dt time.Duration) int {
+	if t.done {
+		return 0
+	}
+	rate := t.Phase().TouchRate * dt.Seconds()
+	if rate <= 0 {
+		return 0
+	}
+	// Poisson via inversion; rates per step are ≪ 1.
+	n := 0
+	l := math.Exp(-rate)
+	p := t.rng.Float64()
+	for p > l {
+		n++
+		p *= t.rng.Float64()
+	}
+	return n
+}
