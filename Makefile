@@ -1,0 +1,31 @@
+# CI entry points. `make ci` is what .github/workflows/ci.yml runs:
+# vet, build, the full test suite under the race detector, and a
+# single-iteration pass over the optimizer benchmarks to keep them
+# compiling and honest.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench bench-campaign
+
+ci: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run='^$$' -bench=BenchmarkOptimize -benchtime=1x ./internal/core/...
+
+# The campaign-scale benchmarks (quick Table III, serial vs parallel
+# with a reported speedup metric). Not part of `ci` — they simulate
+# whole app sessions and take minutes on small runners.
+bench-campaign:
+	$(GO) test -run='^$$' -bench=BenchmarkTableIII -benchtime=1x .

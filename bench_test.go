@@ -9,6 +9,7 @@
 package aspeo
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -21,22 +22,22 @@ import (
 	"aspeo/internal/workload"
 )
 
-// table3Once caches the quick Table III campaign shared by the figure and
-// downstream-table benchmarks.
-var (
-	table3Once sync.Once
-	table3Res  *experiment.TableIIIResult
-	table3Err  error
-)
+// table3Cached caches the quick Table III campaign shared by the figure
+// and downstream-table benchmarks. sync.OnceValues makes the fixture
+// safe under `go test -race -bench`: concurrent callers block on one
+// campaign and share the immutable result; every simulation inside the
+// campaign builds its own sim.Phone (the engine's one-Phone-per-
+// goroutine contract), so no device state crosses goroutines.
+var table3Cached = sync.OnceValues(func() (*experiment.TableIIIResult, error) {
+	return experiment.Quick().TableIII()
+})
 
 func table3(b *testing.B) *experiment.TableIIIResult {
-	table3Once.Do(func() {
-		table3Res, table3Err = experiment.Quick().TableIII()
-	})
-	if table3Err != nil {
-		b.Fatal(table3Err)
+	res, err := table3Cached()
+	if err != nil {
+		b.Fatal(err)
 	}
-	return table3Res
+	return res
 }
 
 // BenchmarkFig1EbookHistogram regenerates Figure 1: the eBook reader's
@@ -112,6 +113,46 @@ func BenchmarkTableIIIControllerVsDefault(b *testing.B) {
 	b.ReportMetric(stats.Min(saves), "min_savings_%")
 	b.ReportMetric(stats.Max(saves), "max_savings_%")
 	b.ReportMetric(worst, "worst_perf_delta_%")
+}
+
+// BenchmarkTableIIISerial runs the quick Table III campaign on a single
+// worker — the strictly sequential baseline every pre-runner campaign
+// used.
+func BenchmarkTableIIISerial(b *testing.B) {
+	cfg := experiment.Quick()
+	cfg.Workers = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.TableIII(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIIIParallel runs the same campaign on the full worker
+// pool and reports the wall-clock speedup over a serial reference run
+// (determinism of the results themselves is asserted by
+// TestTableIIIParallelMatchesSerial in internal/experiment).
+func BenchmarkTableIIIParallel(b *testing.B) {
+	serialCfg := experiment.Quick()
+	serialCfg.Workers = 1
+	serialStart := time.Now()
+	if _, err := serialCfg.TableIII(); err != nil {
+		b.Fatal(err)
+	}
+	serialWall := time.Since(serialStart)
+
+	cfg := experiment.Quick()
+	cfg.Workers = 0 // one worker per CPU
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.TableIII(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perOp := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(serialWall.Seconds()/perOp, "speedup_x")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 }
 
 // BenchmarkFig4CPUHistograms extracts the Figure 4 histogram pairs from

@@ -30,9 +30,10 @@ func main() {
 		out    = flag.String("o", "", "output JSON path (default: stdout)")
 		print  = flag.Bool("print", false, "also print the table in paper Table I format")
 		quick  = flag.Bool("quick", false, "single seed, short windows (lower fidelity)")
-		seeds  = flag.Int("runs", 3, "runs per configuration (the paper averages 3)")
-		window = flag.Duration("window", 36*time.Second, "measurement window per configuration")
-		warmup = flag.Duration("warmup", 4*time.Second, "settling time per configuration")
+		seeds   = flag.Int("runs", 3, "runs per configuration (the paper averages 3)")
+		window  = flag.Duration("window", 36*time.Second, "measurement window per configuration")
+		warmup  = flag.Duration("warmup", 4*time.Second, "settling time per configuration")
+		workers = flag.Int("workers", 0, "measurement worker pool size (0 = one per CPU, 1 = serial; table identical)")
 	)
 	flag.Parse()
 
@@ -55,10 +56,11 @@ func main() {
 	}
 
 	opts := profile.Options{
-		Load:   bg,
-		Mode:   bwMode,
-		Warmup: *warmup,
-		Window: *window,
+		Load:    bg,
+		Mode:    bwMode,
+		Warmup:  *warmup,
+		Window:  *window,
+		Workers: *workers,
 	}
 	for i := 0; i < *seeds; i++ {
 		opts.Seeds = append(opts.Seeds, int64(11*(i+1)))

@@ -8,6 +8,11 @@
 //	aspeo-repro -quick             # single-seed smoke pass
 //	aspeo-repro -only table3,fig4  # selected artifacts
 //	aspeo-repro -csv out/          # also dump CSVs
+//	aspeo-repro -workers 4         # bound the campaign worker pool
+//
+// Campaigns fan independent simulation cells out over a worker pool
+// (default: one worker per CPU); results are bit-identical to a serial
+// run (-workers 1).
 package main
 
 import (
@@ -25,9 +30,10 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "single seed, short windows")
-		only  = flag.String("only", "", "comma-separated subset: fig1,table1,table2,table3,fig4,fig5,overhead,table4,table5,reprofile,battery,loadmodel,phase,thermal")
-		csv   = flag.String("csv", "", "directory for CSV exports")
+		quick   = flag.Bool("quick", false, "single seed, short windows")
+		only    = flag.String("only", "", "comma-separated subset: fig1,table1,table2,table3,fig4,fig5,overhead,table4,table5,reprofile,battery,loadmodel,phase,thermal")
+		csv     = flag.String("csv", "", "directory for CSV exports")
+		workers = flag.Int("workers", 0, "campaign worker pool size (0 = one per CPU, 1 = serial; results identical)")
 	)
 	flag.Parse()
 
@@ -35,6 +41,7 @@ func main() {
 	if *quick {
 		cfg = experiment.Quick()
 	}
+	cfg.Workers = *workers
 	want := map[string]bool{}
 	if *only != "" {
 		for _, k := range strings.Split(*only, ",") {

@@ -6,15 +6,23 @@
 // Usage:
 //
 //	aspeo-sweep -app angrybirds -stride-f 2 -stride-bw 3 > sweep.csv
+//	aspeo-sweep -app ebook -workers 8 > sweep.csv
+//
+// Grid cells are independent simulations and fan out over a worker pool
+// (default: one worker per CPU); rows are emitted in ladder order
+// regardless of which worker measured them, so output is bit-identical
+// to a serial sweep.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"aspeo/internal/par"
 	"aspeo/internal/sim"
 	"aspeo/internal/soc"
 	"aspeo/internal/workload"
@@ -29,6 +37,7 @@ func main() {
 		window   = flag.Duration("window", 16*time.Second, "measurement window per configuration")
 		warmup   = flag.Duration("warmup", 2*time.Second, "settling time per configuration")
 		seed     = flag.Int64("seed", 11, "simulation seed")
+		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = one per CPU, 1 = serial; output identical)")
 	)
 	flag.Parse()
 
@@ -49,25 +58,39 @@ func main() {
 	looped.Loop = true
 	looped.LoopCount = 0
 
+	// Enumerate the grid up front, fan the cells out (one Phone per
+	// goroutine), and print rows in grid order.
 	chip := soc.Nexus6()
-	fmt.Println("freq_idx,freq_ghz,bw_idx,bw_mbps,gips,power_w")
+	type cell struct{ fi, bi int }
+	var cells []cell
 	for fi := 0; fi < len(chip.CPUFreqs); fi += *strideF {
 		for bi := 0; bi < len(chip.MemBWs); bi += *strideBW {
+			cells = append(cells, cell{fi: fi, bi: bi})
+		}
+	}
+	rows, err := par.Map(context.Background(), par.Workers(*workers), len(cells),
+		func(_ context.Context, i int) (sim.Stats, error) {
 			ph, err := sim.NewPhone(sim.Config{
 				Foreground: &looped, Load: bg, Seed: *seed,
 				ScreenOn: true, WiFiOn: true,
 			})
 			if err != nil {
-				fatal("%v", err)
+				return sim.Stats{}, err
 			}
 			eng := sim.NewEngine(ph)
-			eng.MustRegister(&sim.FixedConfigActor{FreqIdx: fi, BWIdx: bi})
+			eng.MustRegister(&sim.FixedConfigActor{FreqIdx: cells[i].fi, BWIdx: cells[i].bi})
 			eng.Run(*warmup, false)
-			st := eng.Run(*window, false)
-			fmt.Printf("%d,%.4f,%d,%.0f,%.4f,%.4f\n",
-				fi+1, chip.Freq(fi).GHz(), bi+1, chip.BW(bi).MBps(),
-				st.GIPS, st.AvgPowerW)
-		}
+			return eng.Run(*window, false), nil
+		})
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	fmt.Println("freq_idx,freq_ghz,bw_idx,bw_mbps,gips,power_w")
+	for i, c := range cells {
+		fmt.Printf("%d,%.4f,%d,%.0f,%.4f,%.4f\n",
+			c.fi+1, chip.Freq(c.fi).GHz(), c.bi+1, chip.BW(c.bi).MBps(),
+			rows[i].GIPS, rows[i].AvgPowerW)
 	}
 }
 

@@ -78,13 +78,33 @@ func DefaultOptions(t *profile.Table, targetGIPS float64) Options {
 // cycle: <10 ms at ~25 mW average over the 2 s cycle (§V-A1).
 const cycleOverheadJ = 0.050
 
+// allocCacheMax bounds the controller's allocation cache; targets are
+// clamped to the table's speedup range, so in practice a phase settles
+// on a handful of quantized targets and the bound is never hit.
+const allocCacheMax = 256
+
+// allocCacheScale quantizes cached targets to a 2⁻¹² grid (≈2.4e-4
+// speedup resolution — an order of magnitude below the table's
+// measurement noise), so a converged regulator re-requesting the same
+// operating point skips the solve entirely.
+const allocCacheScale = 4096
+
 // Controller is the online controller K plus the scheduler S of Fig. 2.
 // It implements sim.Actor at the scheduler quantum.
 type Controller struct {
 	opt     Options
 	entries []profile.Entry // sorted by ascending speedup
-	perf    *perftool.Perf
-	kf      *kalman.Filter
+	// frontier is the precomputed convex-hull fast path over entries;
+	// entries are immutable for the controller's lifetime, so it is
+	// built once in New.
+	frontier *Frontier
+	// allocCache memoizes solved allocations by quantized target. The
+	// cached value depends only on the (static) pruned table, so entries
+	// never go stale — phase switches merely change which keys are hit.
+	allocCache     map[float64]Allocation
+	allocCacheHits int
+	perf           *perftool.Perf
+	kf             *kalman.Filter
 
 	sPrev     float64 // speedup applied during the previous cycle
 	tracker   *PhaseTracker
@@ -136,12 +156,19 @@ func New(opt Options) (*Controller, error) {
 	}
 	entries := pruneDominated(opt.Table.SortedBySpeedup(), eps)
 
+	frontier, err := NewFrontier(entries)
+	if err != nil {
+		return nil, err
+	}
+
 	nSlots := int(opt.CycleT / opt.Quantum)
 	c := &Controller{
-		opt:     opt,
-		entries: entries,
-		perf:    perftool.MustNew(opt.PerfPeriod, opt.Seed),
-		kf:      kf,
+		opt:        opt,
+		entries:    entries,
+		frontier:   frontier,
+		allocCache: make(map[float64]Allocation),
+		perf:       perftool.MustNew(opt.PerfPeriod, opt.Seed),
+		kf:         kf,
 		sPrev: clamp(opt.TargetGIPS/b0,
 			entries[0].Speedup, entries[len(entries)-1].Speedup),
 		slots: make([]profile.Entry, nSlots),
@@ -271,11 +298,29 @@ func (c *Controller) runCycle(ph *sim.Phone) {
 	ph.AddOverlayEnergyJ(cycleOverheadJ)
 }
 
+// optimize resolves the target through the frontier fast path, with a
+// quantized-target memo in front: a converged regulator asks for the
+// same operating point cycle after cycle, and within one phase those
+// repeats skip the solve entirely. Quantization happens before the
+// solve, so a cache hit returns exactly what the solver would.
 func (c *Controller) optimize(target float64) (Allocation, error) {
 	if c.opt.UseLP {
 		return OptimizeLP(c.entries, target, c.opt.CycleT)
 	}
-	return Optimize(c.entries, target, c.opt.CycleT)
+	qt := math.Round(target*allocCacheScale) / allocCacheScale
+	if a, ok := c.allocCache[qt]; ok {
+		c.allocCacheHits++
+		return a, nil
+	}
+	a, err := c.frontier.Optimize(qt, c.opt.CycleT)
+	if err != nil {
+		return a, err
+	}
+	if len(c.allocCache) >= allocCacheMax {
+		clear(c.allocCache)
+	}
+	c.allocCache[qt] = a
+	return a, nil
 }
 
 // fillSlots quantizes the allocation onto the scheduler's dwell grid. The
@@ -342,6 +387,10 @@ func (c *Controller) CurrentSpeedupSetting() float64 { return c.sPrev }
 // OptimizerWallTime returns the cumulative host time spent in the energy
 // optimizer (for the §V-A1 overhead reproduction).
 func (c *Controller) OptimizerWallTime() time.Duration { return c.optWallTime }
+
+// AllocCacheHits returns how many control cycles were served from the
+// quantized-target allocation cache without a solve.
+func (c *Controller) AllocCacheHits() int { return c.allocCacheHits }
 
 // PhasesDetected returns how many phases the tracker has distinguished;
 // 0 when phase awareness is off.

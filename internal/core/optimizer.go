@@ -115,9 +115,12 @@ func Optimize(entries []profile.Entry, target float64, T time.Duration) (Allocat
 	}
 	if math.IsInf(bestEnergy, 1) {
 		// target strictly inside (minS, maxS) guarantees a pair exists;
-		// reaching here means equal speedups bracket it exactly.
+		// reaching here means equal speedups bracket it exactly. The
+		// tolerance is relative to the target so large-speedup tables
+		// (where 1e-9 is below one ulp) still match their exact entry.
+		tol := 1e-9 * math.Max(1, math.Abs(target))
 		for _, e := range entries {
-			if math.Abs(e.Speedup-target) < 1e-9 {
+			if math.Abs(e.Speedup-target) < tol {
 				return singleConfig(e, T), nil
 			}
 		}

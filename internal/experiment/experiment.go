@@ -31,6 +31,11 @@ type Config struct {
 	// Quick reduces fidelity (single seed, short windows) for smoke
 	// tests and benchmarks.
 	Quick bool
+	// Workers bounds the campaign worker pool fanning out independent
+	// simulation cells (runs and profiling points). 0 or negative means
+	// one worker per CPU (runtime.GOMAXPROCS(0)); 1 forces the serial
+	// path. Results are identical for every setting — see runner.go.
+	Workers int
 }
 
 // Default returns the paper-faithful campaign configuration.
@@ -67,11 +72,12 @@ func (c Config) validate() error {
 
 func (c Config) profileOptions(load workload.BGLoad, mode profile.BWMode) profile.Options {
 	return profile.Options{
-		Load:   load,
-		Mode:   mode,
-		Seeds:  c.ProfileSeeds,
-		Warmup: c.ProfileWarmup,
-		Window: c.ProfileWindow,
+		Load:    load,
+		Mode:    mode,
+		Seeds:   c.ProfileSeeds,
+		Warmup:  c.ProfileWarmup,
+		Window:  c.ProfileWindow,
+		Workers: c.Workers,
 	}
 }
 
@@ -149,18 +155,14 @@ func (c Config) MeasureDefault(spec *workload.Spec, load workload.BGLoad) (RunRe
 	if err := c.validate(); err != nil {
 		return RunResult{}, err
 	}
-	var all []sim.Stats
-	var last *sim.Phone
-	for _, seed := range c.Seeds {
-		st, ph, err := runOne(spec, load, seed, func(eng *sim.Engine) error {
+	all, last, err := c.runSeeds(spec, load, func(seed int64) func(*sim.Engine) error {
+		return func(eng *sim.Engine) error {
 			governor.Defaults(eng)
 			return eng.Register(perftool.MustNew(time.Second, seed))
-		})
-		if err != nil {
-			return RunResult{}, err
 		}
-		all = append(all, st)
-		last = ph
+	})
+	if err != nil {
+		return RunResult{}, err
 	}
 	return aggregate(all, last), nil
 }
@@ -173,10 +175,8 @@ func (c Config) RunController(spec *workload.Spec, tab *profile.Table,
 	if err := c.validate(); err != nil {
 		return RunResult{}, err
 	}
-	var all []sim.Stats
-	var last *sim.Phone
-	for _, seed := range c.Seeds {
-		st, ph, err := runOne(spec, load, seed, func(eng *sim.Engine) error {
+	all, last, err := c.runSeeds(spec, load, func(seed int64) func(*sim.Engine) error {
+		return func(eng *sim.Engine) error {
 			opts := core.DefaultOptions(tab, targetGIPS)
 			opts.Seed = seed
 			opts.CPUOnly = cpuOnly
@@ -189,12 +189,10 @@ func (c Config) RunController(spec *workload.Spec, tab *profile.Table,
 				eng.MustRegister(governor.NewDevFreq())
 			}
 			return ctl.Install(eng)
-		})
-		if err != nil {
-			return RunResult{}, err
 		}
-		all = append(all, st)
-		last = ph
+	})
+	if err != nil {
+		return RunResult{}, err
 	}
 	return aggregate(all, last), nil
 }
@@ -233,11 +231,18 @@ func compare(spec *workload.Spec, load workload.BGLoad, def, ctl RunResult) Comp
 func (c Config) Evaluate(spec *workload.Spec, tab *profile.Table,
 	targetGIPS float64, load workload.BGLoad, cpuOnly bool) (Comparison, error) {
 
-	def, err := c.MeasureDefault(spec, load)
-	if err != nil {
-		return Comparison{}, err
-	}
-	ctl, err := c.RunController(spec, tab, targetGIPS, load, cpuOnly)
+	// The default measurement and the controller run are independent
+	// (the target is given), so they are two cells of the campaign pool.
+	var def, ctl RunResult
+	err := c.forEachCell(2, func(i int) error {
+		var err error
+		if i == 0 {
+			def, err = c.MeasureDefault(spec, load)
+		} else {
+			ctl, err = c.RunController(spec, tab, targetGIPS, load, cpuOnly)
+		}
+		return err
+	})
 	if err != nil {
 		return Comparison{}, err
 	}

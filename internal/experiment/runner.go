@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"context"
+
+	"aspeo/internal/par"
+	"aspeo/internal/sim"
+	"aspeo/internal/workload"
+)
+
+// This file is the campaign runner: every paper artifact is a set of
+// independent simulation cells — one (app, load, seed) run or one
+// offline profiling point — and the runner fans them out over a bounded
+// worker pool (Config.Workers; 0 = one worker per CPU).
+//
+// Determinism: each cell's inputs (its seed from Config.Seeds, its spec,
+// its load) are fixed by index before dispatch, every cell constructs
+// its own sim.Phone (the engine's one-Phone-per-goroutine contract), and
+// results land in index-addressed slots. Serial and parallel campaigns
+// therefore produce bit-identical artifacts
+// (TestTableIIIParallelMatchesSerial). The first cell error cancels the
+// campaign's remaining undispatched cells via context.
+
+// workerCount resolves Config.Workers (0 or negative → GOMAXPROCS).
+func (c Config) workerCount() int { return par.Workers(c.Workers) }
+
+// forEachCell fans fn out over n independent cells on the campaign pool.
+func (c Config) forEachCell(n int, fn func(i int) error) error {
+	return par.ForEach(context.Background(), c.workerCount(), n,
+		func(_ context.Context, i int) error { return fn(i) })
+}
+
+// runSeeds executes one measurement condition once per Config.Seeds in
+// parallel. install(seed) builds the per-run actor installer, so each
+// run gets its own controller/governor/perf instances. Stats come back
+// in seed order; the returned phone is the last seed's device (the one
+// the serial campaign used for residency extraction).
+func (c Config) runSeeds(spec *workload.Spec, load workload.BGLoad,
+	install func(seed int64) func(*sim.Engine) error) ([]sim.Stats, *sim.Phone, error) {
+
+	stats_ := make([]sim.Stats, len(c.Seeds))
+	phones := make([]*sim.Phone, len(c.Seeds))
+	err := c.forEachCell(len(c.Seeds), func(i int) error {
+		st, ph, err := runOne(spec, load, c.Seeds[i], install(c.Seeds[i]))
+		if err != nil {
+			return err
+		}
+		stats_[i] = st
+		phones[i] = ph
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return stats_, phones[len(phones)-1], nil
+}

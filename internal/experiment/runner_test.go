@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"aspeo/internal/workload"
+)
+
+// TestTableIIIParallelMatchesSerial is the determinism regression test
+// for the campaign runner: the Quick Table III campaign must be
+// bit-identical between the serial path and an 8-worker pool — rows,
+// energies, speedups, profile tables and targets.
+func TestTableIIIParallelMatchesSerial(t *testing.T) {
+	serial := Quick()
+	serial.Workers = 1
+	parallel := Quick()
+	parallel.Workers = 8
+
+	sRes, err := serial.TableIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pRes, err := parallel.TableIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(sRes.Rows, pRes.Rows) {
+		t.Fatalf("rows diverge:\nserial:   %+v\nparallel: %+v", sRes.Rows, pRes.Rows)
+	}
+	if !reflect.DeepEqual(sRes.Targets, pRes.Targets) {
+		t.Fatalf("targets diverge: %v vs %v", sRes.Targets, pRes.Targets)
+	}
+	if len(sRes.Tables) != len(pRes.Tables) {
+		t.Fatalf("table counts diverge: %d vs %d", len(sRes.Tables), len(pRes.Tables))
+	}
+	for app, st := range sRes.Tables {
+		pt, ok := pRes.Tables[app]
+		if !ok {
+			t.Fatalf("parallel campaign missing table for %s", app)
+		}
+		if !reflect.DeepEqual(st, pt) {
+			t.Fatalf("%s profile table diverges", app)
+		}
+	}
+}
+
+// TestEvaluateParallelMatchesSerial covers the remaining fan-out shape
+// (def ∥ ctl inside Evaluate) on a single cheap cell.
+func TestEvaluateParallelMatchesSerial(t *testing.T) {
+	spec := workload.Spotify()
+	base := Quick()
+	base.Workers = 1
+	tab, err := base.Profile(spec, workload.BaselineLoad, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := base.MeasureDefault(spec, workload.BaselineLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial, err := base.Evaluate(spec, tab, def.GIPS, workload.BaselineLoad, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par8 := base
+	par8.Workers = 8
+	parallel, err := par8.Evaluate(spec, tab, def.GIPS, workload.BaselineLoad, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("Evaluate diverges:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// A failing cell must surface its error and abort the campaign under
+// every worker count.
+func TestRunnerPropagatesCellErrors(t *testing.T) {
+	spec := workload.Spotify()
+	for _, workers := range []int{1, 8} {
+		c := Quick()
+		c.Workers = workers
+		c.Seeds = []int64{101, 202, 303}
+		// A negative target makes core.New fail inside every seed cell.
+		if _, err := c.RunController(spec, nil, -1, workload.BaselineLoad, false); err == nil {
+			t.Fatalf("workers=%d: error swallowed", workers)
+		}
+	}
+}
+
+func TestWorkerCountResolution(t *testing.T) {
+	c := Quick()
+	if c.workerCount() < 1 {
+		t.Fatalf("default worker count %d", c.workerCount())
+	}
+	c.Workers = 3
+	if c.workerCount() != 3 {
+		t.Fatalf("explicit worker count %d", c.workerCount())
+	}
+}

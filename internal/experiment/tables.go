@@ -47,28 +47,64 @@ type TableIIIResult struct {
 }
 
 // TableIII reproduces the headline result: controller vs default
-// governors on the six applications under baseline load.
+// governors on the six applications under baseline load. The six app
+// campaigns are independent cells; within one app the profiling stage
+// and the default-governor measurement are also independent, while the
+// controller run waits on both (it needs the table and the target).
 func (c Config) TableIII() (*TableIIIResult, error) {
-	res := &TableIIIResult{
-		Tables:  make(map[string]*profile.Table),
-		Targets: make(map[string]float64),
+	specs := workload.Evaluated()
+	type appCell struct {
+		row    Comparison
+		tab    *profile.Table
+		target float64
 	}
-	for _, spec := range workload.Evaluated() {
-		tab, err := c.Profile(spec, workload.BaselineLoad, profile.Coordinated)
+	cells := make([]appCell, len(specs))
+	err := c.forEachCell(len(specs), func(i int) error {
+		spec := specs[i]
+		var tab *profile.Table
+		var def RunResult
+		err := c.forEachCell(2, func(j int) error {
+			var err error
+			if j == 0 {
+				tab, err = c.Profile(spec, workload.BaselineLoad, profile.Coordinated)
+				if err != nil {
+					return fmt.Errorf("profiling %s: %w", spec.Name, err)
+				}
+				return nil
+			}
+			def, err = c.MeasureDefault(spec, workload.BaselineLoad)
+			if err != nil {
+				return fmt.Errorf("default %s: %w", spec.Name, err)
+			}
+			return nil
+		})
 		if err != nil {
-			return nil, fmt.Errorf("profiling %s: %w", spec.Name, err)
-		}
-		def, err := c.MeasureDefault(spec, workload.BaselineLoad)
-		if err != nil {
-			return nil, fmt.Errorf("default %s: %w", spec.Name, err)
+			return err
 		}
 		ctl, err := c.RunController(spec, tab, def.GIPS, workload.BaselineLoad, false)
 		if err != nil {
-			return nil, fmt.Errorf("controller %s: %w", spec.Name, err)
+			return fmt.Errorf("controller %s: %w", spec.Name, err)
 		}
-		res.Rows = append(res.Rows, compare(spec, workload.BaselineLoad, def, ctl))
-		res.Tables[spec.Name] = tab
-		res.Targets[spec.Name] = def.GIPS
+		cells[i] = appCell{
+			row:    compare(spec, workload.BaselineLoad, def, ctl),
+			tab:    tab,
+			target: def.GIPS,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &TableIIIResult{
+		Rows:    make([]Comparison, 0, len(specs)),
+		Tables:  make(map[string]*profile.Table, len(specs)),
+		Targets: make(map[string]float64, len(specs)),
+	}
+	for i, spec := range specs {
+		res.Rows = append(res.Rows, cells[i].row)
+		res.Tables[spec.Name] = cells[i].tab
+		res.Targets[spec.Name] = cells[i].target
 	}
 	return res, nil
 }
@@ -92,24 +128,35 @@ func (c Config) TableIV(base *TableIIIResult) (*TableIVResult, error) {
 			return nil, err
 		}
 	}
+	// Every (app, load) pair is an independent cell: offline data and
+	// target stay from BL (§V-C), only the runtime environment changes.
+	specs := workload.Evaluated()
+	extraLoads := []workload.BGLoad{workload.NoLoad, workload.HeavierLoad}
+	cmps := make([]Comparison, len(specs)*len(extraLoads))
+	err := c.forEachCell(len(cmps), func(i int) error {
+		spec := specs[i/len(extraLoads)]
+		load := extraLoads[i%len(extraLoads)]
+		cmp, err := c.Evaluate(spec, base.Tables[spec.Name], base.Targets[spec.Name], load, false)
+		if err != nil {
+			return fmt.Errorf("%s under %s: %w", spec.Name, load, err)
+		}
+		cmps[i] = cmp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &TableIVResult{Rows: make(map[string]map[workload.BGLoad]Comparison)}
-	for _, spec := range workload.Evaluated() {
-		tab := base.Tables[spec.Name]
-		target := base.Targets[spec.Name]
+	for si, spec := range specs {
 		perLoad := make(map[workload.BGLoad]Comparison)
 		for _, row := range base.Rows {
 			if row.App == spec.Name {
 				perLoad[workload.BaselineLoad] = row
 			}
 		}
-		for _, load := range []workload.BGLoad{workload.NoLoad, workload.HeavierLoad} {
-			// Offline data and target stay from BL (§V-C); only the
-			// runtime environment changes.
-			cmp, err := c.Evaluate(spec, tab, target, load, false)
-			if err != nil {
-				return nil, fmt.Errorf("%s under %s: %w", spec.Name, load, err)
-			}
-			perLoad[load] = cmp
+		for li, load := range extraLoads {
+			perLoad[load] = cmps[si*len(extraLoads)+li]
 		}
 		res.Rows[spec.Name] = perLoad
 	}
@@ -136,19 +183,27 @@ func (c Config) TableV(base *TableIIIResult) (*TableVResult, error) {
 			return nil, err
 		}
 	}
-	res := &TableVResult{Coordinated: base.Rows}
-	for _, spec := range workload.Evaluated() {
+	// The CPU-only baseline for each app — governed re-profile plus the
+	// cpu-only controller evaluation — is an independent cell.
+	specs := workload.Evaluated()
+	rows := make([]Comparison, len(specs))
+	err := c.forEachCell(len(specs), func(i int) error {
+		spec := specs[i]
 		tab, err := c.Profile(spec, workload.BaselineLoad, profile.Governed)
 		if err != nil {
-			return nil, fmt.Errorf("governed profiling %s: %w", spec.Name, err)
+			return fmt.Errorf("governed profiling %s: %w", spec.Name, err)
 		}
 		cmp, err := c.Evaluate(spec, tab, base.Targets[spec.Name], workload.BaselineLoad, true)
 		if err != nil {
-			return nil, fmt.Errorf("cpu-only %s: %w", spec.Name, err)
+			return fmt.Errorf("cpu-only %s: %w", spec.Name, err)
 		}
-		res.Rows = append(res.Rows, cmp)
+		rows[i] = cmp
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &TableVResult{Rows: rows, Coordinated: base.Rows}, nil
 }
 
 // ExtraEnergyVsCoordinatedPct computes the paper's §V-D aggregate: the
@@ -185,11 +240,17 @@ func (r *TableVResult) ExtraEnergyVsCoordinatedPct() float64 {
 // energy with no performance loss").
 func (c Config) ReprofileMobileBenchNL() (Comparison, error) {
 	spec := workload.MobileBench()
-	tab, err := c.Profile(spec, workload.NoLoad, profile.Coordinated)
-	if err != nil {
-		return Comparison{}, err
-	}
-	def, err := c.MeasureDefault(spec, workload.NoLoad)
+	var tab *profile.Table
+	var def RunResult
+	err := c.forEachCell(2, func(i int) error {
+		var err error
+		if i == 0 {
+			tab, err = c.Profile(spec, workload.NoLoad, profile.Coordinated)
+		} else {
+			def, err = c.MeasureDefault(spec, workload.NoLoad)
+		}
+		return err
+	})
 	if err != nil {
 		return Comparison{}, err
 	}

@@ -1,0 +1,115 @@
+// Package par provides the bounded fan-out primitives behind the
+// parallel experiment campaigns: a fixed-size worker pool that runs
+// independent simulation cells concurrently while keeping results
+// deterministic.
+//
+// Determinism contract: callers enumerate their cells up front (so every
+// cell's inputs — seeds, configurations, specs — are fixed before
+// dispatch) and write each cell's output into an index-addressed slot.
+// Worker scheduling then affects only wall-clock time, never results.
+// Each cell must build its own simulation state (one sim.Phone per
+// goroutine — see the internal/sim engine contract); nothing mutable may
+// be shared across cells.
+package par
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a worker-count setting: n <= 0 selects one worker
+// per available CPU (runtime.GOMAXPROCS(0)).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on at most `workers`
+// goroutines (workers <= 0 means GOMAXPROCS). The first cell error
+// cancels the shared context so queued cells never start; cells already
+// running finish. ForEach returns the error of the lowest-indexed failed
+// cell, wrapped with its index — a deterministic choice regardless of
+// which goroutine tripped first.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if n <= 0 {
+		return ctx.Err()
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return fmt.Errorf("cell %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if cctx.Err() != nil {
+					continue // drain without starting new cells
+				}
+				if err := fn(cctx, i); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if cctx.Err() != nil {
+			break
+		}
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("cell %d: %w", i, err)
+		}
+	}
+	return ctx.Err()
+}
+
+// Map runs fn over [0, n) like ForEach and collects the results into an
+// index-addressed slice, so out[i] is fn's result for cell i no matter
+// which worker ran it.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, workers, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

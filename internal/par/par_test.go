@@ -1,0 +1,165 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 32} {
+		n := 100
+		counts := make([]int32, n)
+		err := ForEach(context.Background(), workers, n, func(_ context.Context, i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndNilContext(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(nil, 4, 3, func(context.Context, int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachReturnsLowestIndexedError(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := ForEach(context.Background(), workers, 50, func(_ context.Context, i int) error {
+			if i == 7 || i == 30 {
+				return fmt.Errorf("%w at %d", sentinel, i)
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v, want sentinel", workers, err)
+		}
+		// The wrap must name the lowest failed index that ran. With one
+		// worker that is exactly cell 7; with several, cancellation may
+		// skip cell 30 but cell 7 always runs before dispatch stops only
+		// if no later cell failed first — so only assert the wrapped
+		// error is one of the failing cells.
+		if got := err.Error(); got != "cell 7: boom at 7" && got != "cell 30: boom at 30" {
+			t.Fatalf("unexpected error text %q", got)
+		}
+	}
+	// Serial path is fully deterministic.
+	err := ForEach(context.Background(), 1, 50, func(_ context.Context, i int) error {
+		if i == 7 || i == 30 {
+			return fmt.Errorf("%w at %d", sentinel, i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "cell 7: boom at 7" {
+		t.Fatalf("serial first error = %v", err)
+	}
+}
+
+func TestForEachCancelsPendingCells(t *testing.T) {
+	var started int32
+	err := ForEach(context.Background(), 2, 1000, func(_ context.Context, i int) error {
+		atomic.AddInt32(&started, 1)
+		if i == 0 {
+			return errors.New("first cell fails")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := atomic.LoadInt32(&started); n == 1000 {
+		t.Fatal("cancellation did not stop dispatch")
+	}
+}
+
+func TestForEachHonorsPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := ForEach(ctx, 1, 5, func(context.Context, int) error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran {
+		t.Fatal("cell ran under a cancelled context")
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak int32
+	var mu sync.Mutex
+	err := ForEach(context.Background(), workers, 60, func(context.Context, int) error {
+		c := atomic.AddInt32(&cur, 1)
+		mu.Lock()
+		if c > peak {
+			peak = c
+		}
+		mu.Unlock()
+		defer atomic.AddInt32(&cur, -1)
+		runtime.Gosched()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Fatalf("observed %d concurrent cells, pool size %d", peak, workers)
+	}
+}
+
+func TestMapIndexAddressing(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		out, err := Map(context.Background(), workers, 64, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapErrorReturnsNil(t *testing.T) {
+	out, err := Map(context.Background(), 4, 8, func(_ context.Context, i int) (int, error) {
+		if i == 3 {
+			return 0, errors.New("nope")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}

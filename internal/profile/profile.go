@@ -13,6 +13,7 @@
 package profile
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"aspeo/internal/governor"
+	"aspeo/internal/par"
 	"aspeo/internal/perftool"
 	"aspeo/internal/sim"
 	"aspeo/internal/soc"
@@ -167,6 +169,11 @@ type Options struct {
 	Seeds  []int64       // one run per seed, averaged (paper: 3 runs)
 	Warmup time.Duration // discarded settling time per configuration
 	Window time.Duration // measured interval per configuration
+	// Workers bounds the measurement worker pool: every (configuration,
+	// seed) point is an independent simulation with its own sim.Phone,
+	// so the grid fans out. 0 or negative means one worker per CPU;
+	// results are bit-identical for every setting.
+	Workers int
 }
 
 // DefaultOptions mirrors the paper's protocol: baseline load, three runs.
@@ -180,10 +187,11 @@ func DefaultOptions() Options {
 	}
 }
 
-// measure runs the app pinned at (freqIdx, bwIdx) and returns mean GIPS
-// and power across seeds. bwIdx = GovernedBW leaves the bandwidth to the
-// hwmon governor.
-func measure(spec *workload.Spec, opt Options, freqIdx, bwIdx int) (gips, powerW float64, err error) {
+// measureOne runs the app for one seed pinned at (freqIdx, bwIdx) and
+// returns its GIPS and power. bwIdx = GovernedBW leaves the bandwidth to
+// the hwmon governor. Each call builds its own sim.Phone, so calls are
+// safe to fan out across goroutines.
+func measureOne(spec *workload.Spec, opt Options, freqIdx, bwIdx int, seed int64) (gips, powerW float64, err error) {
 	// Profile a looped copy of the app: a finite workload (a 12-site
 	// browsing session, a 137 s video) must not run dry inside the
 	// measurement window at fast configurations, or the idle tail would
@@ -191,33 +199,65 @@ func measure(spec *workload.Spec, opt Options, freqIdx, bwIdx int) (gips, powerW
 	looped := *spec
 	looped.Loop = true
 	looped.LoopCount = 0
-	var gipsS, powS []float64
-	for _, seed := range opt.Seeds {
-		ph, err := sim.NewPhone(sim.Config{
-			SoC: opt.SoC, Foreground: &looped, Load: opt.Load,
-			Seed: seed, ScreenOn: true, WiFiOn: true,
-		})
-		if err != nil {
+	ph, err := sim.NewPhone(sim.Config{
+		SoC: opt.SoC, Foreground: &looped, Load: opt.Load,
+		Seed: seed, ScreenOn: true, WiFiOn: true,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	eng := sim.NewEngine(ph)
+	if bwIdx == GovernedBW {
+		// Pin the CPU, leave the bus to the stock governor.
+		if err := ph.FS().Write(sysfs.DevFreqGovernor, sim.GovCPUBWHwmon); err != nil {
 			return 0, 0, err
 		}
-		eng := sim.NewEngine(ph)
-		if bwIdx == GovernedBW {
-			// Pin the CPU, leave the bus to the stock governor.
-			if err := ph.FS().Write(sysfs.DevFreqGovernor, sim.GovCPUBWHwmon); err != nil {
-				return 0, 0, err
-			}
-			eng.MustRegister(governor.NewDevFreq())
-			eng.MustRegister(&cpuPin{idx: freqIdx})
-		} else {
-			eng.MustRegister(&sim.FixedConfigActor{FreqIdx: freqIdx, BWIdx: bwIdx})
-		}
-		eng.MustRegister(perftool.MustNew(time.Second, seed))
-		eng.Run(opt.Warmup, false)
-		st := eng.Run(opt.Window, false)
-		gipsS = append(gipsS, st.GIPS)
-		powS = append(powS, st.AvgPowerW)
+		eng.MustRegister(governor.NewDevFreq())
+		eng.MustRegister(&cpuPin{idx: freqIdx})
+	} else {
+		eng.MustRegister(&sim.FixedConfigActor{FreqIdx: freqIdx, BWIdx: bwIdx})
 	}
-	return stats.Mean(gipsS), stats.Mean(powS), nil
+	eng.MustRegister(perftool.MustNew(time.Second, seed))
+	eng.Run(opt.Warmup, false)
+	st := eng.Run(opt.Window, false)
+	return st.GIPS, st.AvgPowerW, nil
+}
+
+// measurePoint is one profiled configuration.
+type measurePoint struct{ fi, bi int }
+
+// measurement is a point's seed-averaged result.
+type measurement struct{ gips, powerW float64 }
+
+// measureAll fans the (point × seed) measurement grid out over the
+// worker pool and folds each point's seeds into their mean, in seed
+// order — bit-identical to the serial per-point loop.
+func measureAll(spec *workload.Spec, opt Options, pts []measurePoint) ([]measurement, error) {
+	type cellRes struct{ gips, powerW float64 }
+	nSeeds := len(opt.Seeds)
+	cells, err := par.Map(context.Background(), par.Workers(opt.Workers), len(pts)*nSeeds,
+		func(_ context.Context, i int) (cellRes, error) {
+			pt := pts[i/nSeeds]
+			g, p, err := measureOne(spec, opt, pt.fi, pt.bi, opt.Seeds[i%nSeeds])
+			if err != nil {
+				return cellRes{}, err
+			}
+			return cellRes{gips: g, powerW: p}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]measurement, len(pts))
+	for p := range pts {
+		gipsS := make([]float64, nSeeds)
+		powS := make([]float64, nSeeds)
+		for s := 0; s < nSeeds; s++ {
+			gipsS[s] = cells[p*nSeeds+s].gips
+			powS[s] = cells[p*nSeeds+s].powerW
+		}
+		out[p] = measurement{gips: stats.Mean(gipsS), powerW: stats.Mean(powS)}
+	}
+	return out, nil
 }
 
 // cpuPin pins only the CPU frequency.
@@ -248,56 +288,65 @@ func Run(spec *workload.Spec, opt Options) (*Table, error) {
 		return nil, fmt.Errorf("profile: %s has no profiled frequencies", spec.Name)
 	}
 
-	// Base speed: the app at the SoC's lowest configuration.
-	baseGIPS, _, err := measure(spec, opt, 0, 0)
+	// Build the measurement plan up front — the base-speed cell plus the
+	// per-frequency anchor grid — then fan the whole plan out over the
+	// worker pool at once. Bandwidth anchors (Coordinated mode): the
+	// paper's measurement budget is at most 9×2 = 18 configurations —
+	// every allowed alternate frequency at the lowest and highest
+	// bandwidth. When the app's allowed frequency range is narrow enough
+	// that a third anchor still fits in the same 18-point budget, we add
+	// a mid-ladder anchor (3051 MBps) so the piecewise-linear
+	// interpolation can see the memory roofline knee; otherwise we use
+	// the paper's two endpoints.
+	var anchors []int
+	pts := []measurePoint{{fi: 0, bi: 0}} // base speed: the SoC's lowest configuration
+	if opt.Mode == Governed {
+		for _, fi := range freqs {
+			pts = append(pts, measurePoint{fi: fi, bi: GovernedBW})
+		}
+	} else {
+		anchors = []int{0, len(chip.MemBWs) - 1}
+		if 3*len(freqs) <= 18 {
+			anchors = []int{0, midBWIdx(chip), len(chip.MemBWs) - 1}
+		}
+		for _, fi := range freqs {
+			for _, bi := range anchors {
+				pts = append(pts, measurePoint{fi: fi, bi: bi})
+			}
+		}
+	}
+	ms, err := measureAll(spec, opt, pts)
 	if err != nil {
 		return nil, err
 	}
+
+	baseGIPS := ms[0].gips
 	if baseGIPS <= 0 {
 		return nil, fmt.Errorf("profile: %s base speed measured as %v", spec.Name, baseGIPS)
 	}
-
 	t := &Table{App: spec.Name, Load: opt.Load.String(), Mode: opt.Mode, BaseGIPS: baseGIPS}
 
 	if opt.Mode == Governed {
-		for _, fi := range freqs {
-			g, p, err := measure(spec, opt, fi, GovernedBW)
-			if err != nil {
-				return nil, err
-			}
+		for i := range freqs {
+			m := ms[1+i]
 			t.Entries = append(t.Entries, Entry{
-				FreqIdx: fi, BWIdx: GovernedBW,
-				Speedup: g / baseGIPS, PowerW: p, GIPS: g,
+				FreqIdx: freqs[i], BWIdx: GovernedBW,
+				Speedup: m.gips / baseGIPS, PowerW: m.powerW, GIPS: m.gips,
 			})
 		}
 		return t, t.Validate()
 	}
 
-	// Bandwidth anchors. The paper's measurement budget is at most
-	// 9×2 = 18 configurations: every allowed alternate frequency at the
-	// lowest and highest bandwidth. When the app's allowed frequency
-	// range is narrow enough that a third anchor still fits in the same
-	// 18-point budget, we add a mid-ladder anchor (3051 MBps) so the
-	// piecewise-linear interpolation can see the memory roofline knee;
-	// otherwise we use the paper's two endpoints.
-	anchors := []int{0, len(chip.MemBWs) - 1}
-	if 3*len(freqs) <= 18 {
-		anchors = []int{0, midBWIdx(chip), len(chip.MemBWs) - 1}
-	}
-
-	for _, fi := range freqs {
+	for f := range freqs {
 		type point struct {
 			bw   int
 			gips float64
 			pw   float64
 		}
-		pts := make([]point, 0, len(anchors))
-		for _, bi := range anchors {
-			g, pw, err := measure(spec, opt, fi, bi)
-			if err != nil {
-				return nil, err
-			}
-			pts = append(pts, point{bw: bi, gips: g, pw: pw})
+		anchored := make([]point, 0, len(anchors))
+		for a, bi := range anchors {
+			m := ms[1+f*len(anchors)+a]
+			anchored = append(anchored, point{bw: bi, gips: m.gips, pw: m.powerW})
 		}
 		isAnchor := func(bi int) bool {
 			for _, a := range anchors {
@@ -311,16 +360,16 @@ func Run(spec *workload.Spec, opt Options) (*Table, error) {
 		// (paper §III-A), between consecutive measured anchors.
 		seg := 0
 		for bi := 0; bi < len(chip.MemBWs); bi++ {
-			for seg+1 < len(pts)-1 && bi > pts[seg+1].bw {
+			for seg+1 < len(anchored)-1 && bi > anchored[seg+1].bw {
 				seg++
 			}
-			lo, hi := pts[seg], pts[seg+1]
+			lo, hi := anchored[seg], anchored[seg+1]
 			span := chip.BW(hi.bw).MBps() - chip.BW(lo.bw).MBps()
 			frac := (chip.BW(bi).MBps() - chip.BW(lo.bw).MBps()) / span
 			g := stats.Lerp(lo.gips, hi.gips, frac)
 			p := stats.Lerp(lo.pw, hi.pw, frac)
 			t.Entries = append(t.Entries, Entry{
-				FreqIdx: fi, BWIdx: bi,
+				FreqIdx: freqs[f], BWIdx: bi,
 				Speedup: g / baseGIPS, PowerW: p, GIPS: g,
 				Interpolated: !isAnchor(bi),
 			})

@@ -26,6 +26,14 @@ type Actor interface {
 const DefaultStep = time.Millisecond
 
 // Engine advances a Phone and its actors in lockstep.
+//
+// Concurrency contract: an Engine, its Phone, its workload and every
+// registered Actor form one single-threaded simulation cell — none of
+// them is safe for concurrent use, and none holds global state. Parallel
+// campaigns (internal/par, internal/experiment's runner) exploit exactly
+// this: each goroutine constructs its own Phone/Engine/actor set ("one
+// Phone per goroutine") and cells share nothing but read-only inputs
+// such as workload specs and profile tables.
 type Engine struct {
 	phone  *Phone
 	step   time.Duration
