@@ -1,13 +1,14 @@
 # CI entry points. `make ci` is what .github/workflows/ci.yml runs:
-# vet, build, the full test suite under the race detector, and a
+# vet, build, the full test suite under the race detector, a
 # single-iteration pass over the optimizer benchmarks to keep them
-# compiling and honest.
+# compiling and honest, the fault-campaign smoke test, and — when the
+# tools are on PATH — staticcheck and govulncheck.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-campaign
+.PHONY: ci vet build test race bench bench-campaign smoke-faults lint vuln fuzz
 
-ci: vet build race bench
+ci: vet build race bench smoke-faults lint vuln
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +24,33 @@ race:
 
 bench:
 	$(GO) test -run='^$$' -bench=BenchmarkOptimize -benchtime=1x ./internal/core/...
+
+# One fault scenario end to end at Quick fidelity: faults delivered,
+# ledger populated, hardened slack bounded by the stock governors'.
+smoke-faults:
+	$(GO) test -run=TestFaultCampaignSmoke ./internal/experiment/
+
+# staticcheck and govulncheck run when installed (CI installs them);
+# locally they no-op with a note rather than failing the build.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping"; \
+	fi
+
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vuln: govulncheck not installed, skipping"; \
+	fi
+
+# Short fuzz pass over the sysfs path canonicalizer (corpus committed
+# under internal/sysfs/testdata). Not part of `ci` — time-boxed runs
+# belong in a dedicated job.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzClean -fuzztime=15s ./internal/sysfs/
 
 # The campaign-scale benchmarks (quick Table III, serial vs parallel
 # with a reported speedup metric). Not part of `ci` — they simulate

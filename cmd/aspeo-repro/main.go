@@ -9,6 +9,7 @@
 //	aspeo-repro -only table3,fig4  # selected artifacts
 //	aspeo-repro -csv out/          # also dump CSVs
 //	aspeo-repro -workers 4         # bound the campaign worker pool
+//	aspeo-repro -faults            # fault-resilience campaign
 //
 // Campaigns fan independent simulation cells out over a worker pool
 // (default: one worker per CPU); results are bit-identical to a serial
@@ -31,9 +32,10 @@ import (
 func main() {
 	var (
 		quick   = flag.Bool("quick", false, "single seed, short windows")
-		only    = flag.String("only", "", "comma-separated subset: fig1,table1,table2,table3,fig4,fig5,overhead,table4,table5,reprofile,battery,loadmodel,phase,thermal")
+		only    = flag.String("only", "", "comma-separated subset: fig1,table1,table2,table3,fig4,fig5,overhead,table4,table5,reprofile,battery,loadmodel,phase,thermal,faults")
 		csv     = flag.String("csv", "", "directory for CSV exports")
 		workers = flag.Int("workers", 0, "campaign worker pool size (0 = one per CPU, 1 = serial; results identical)")
+		faults  = flag.Bool("faults", false, "run the fault-resilience campaign (same as -only faults)")
 	)
 	flag.Parse()
 
@@ -47,6 +49,11 @@ func main() {
 		for _, k := range strings.Split(*only, ",") {
 			want[strings.TrimSpace(k)] = true
 		}
+	}
+	if *faults {
+		// The flag alone runs just the fault campaign; combined with
+		// -only it adds the campaign to the selection.
+		want["faults"] = true
 	}
 	sel := func(k string) bool { return len(want) == 0 || want[k] }
 	out := os.Stdout
@@ -133,6 +140,18 @@ func main() {
 		check(err, "thermal")
 		report.Thermal(out, r)
 		fmt.Fprintln(out)
+	}
+	if sel("faults") {
+		// Two apps bound the campaign cost: a game (closed-loop, phase
+		// churn) and a demand-paced streamer.
+		specs := []*workload.Spec{workload.AngryBirds(), workload.Spotify()}
+		r, err := cfg.FaultCampaign(specs, experiment.FaultScenarios())
+		check(err, "faults")
+		report.Faults(out, r)
+		fmt.Fprintln(out)
+		if *csv != "" {
+			writeCSV(*csv, "faults.csv", func(f *os.File) { report.FaultsCSV(f, r) })
+		}
 	}
 	if sel("reprofile") {
 		cmp, err := cfg.ReprofileMobileBenchNL()

@@ -7,6 +7,7 @@
 //	aspeo-run -app angrybirds -governor interactive
 //	aspeo-run -app angrybirds -controller -profile angrybirds.json -target 0.44
 //	aspeo-run -app spotify -controller            # profiles + targets automatically
+//	aspeo-run -app spotify -controller -faults combined   # inject a fault scenario
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"aspeo/internal/core"
 	"aspeo/internal/experiment"
+	"aspeo/internal/fault"
 	"aspeo/internal/governor"
 	"aspeo/internal/perftool"
 	"aspeo/internal/profile"
@@ -40,6 +42,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "reduced-fidelity profiling when done on the fly")
 		histograms = flag.Bool("hist", false, "print residency histograms")
 		traceCSV   = flag.String("trace", "", "write a time-series trace CSV to this path")
+		faultName  = flag.String("faults", "", "inject a fault scenario: "+strings.Join(faultNames(), ", "))
 	)
 	flag.Parse()
 
@@ -62,6 +65,22 @@ func main() {
 	}
 	eng := sim.NewEngine(ph)
 
+	// The injector registers first so its clock leads the actors it
+	// torments; it is armed once the I/O surfaces exist.
+	var inj *fault.Injector
+	if *faultName != "" {
+		sc, err := faultScenario(*faultName)
+		if err != nil {
+			fatal("%v", err)
+		}
+		inj, err = fault.NewInjector(sc.Plan, *seed)
+		if err != nil {
+			fatal("%v", err)
+		}
+		eng.MustRegister(inj)
+		fmt.Printf("fault scenario %s: %s\n", sc.Name, sc.Desc)
+	}
+
 	if *useCtl {
 		tab, tgt, err := tableAndTarget(spec, bg, *profPath, *target, *quick, *cpuOnly)
 		if err != nil {
@@ -80,6 +99,14 @@ func main() {
 		if err := ctl.Install(eng); err != nil {
 			fatal("%v", err)
 		}
+		if inj != nil {
+			// Stock governors stand by to take over after a hijack or a
+			// relinquish; they idle while the governor files read
+			// "userspace".
+			governor.Defaults(eng)
+			inj.Arm(ph, ctl.Perf())
+			defer func() { printHealth(ctl, inj) }()
+		}
 		fmt.Printf("controller: target %.4f GIPS, table %d entries (base %.4f GIPS)\n",
 			tgt, tab.Len(), tab.BaseGIPS)
 	} else {
@@ -87,7 +114,12 @@ func main() {
 			fatal("setting governor: %v", err)
 		}
 		governor.Defaults(eng)
-		eng.MustRegister(perftool.MustNew(time.Second, *seed))
+		p := perftool.MustNew(time.Second, *seed)
+		eng.MustRegister(p)
+		if inj != nil {
+			inj.Arm(ph, p)
+			defer func() { fmt.Printf("injected faults: %+v\n", inj.Counts()) }()
+		}
 	}
 
 	var st sim.Stats
@@ -162,6 +194,38 @@ func tableAndTarget(spec *workload.Spec, bg workload.BGLoad, path string,
 		target = def.GIPS
 	}
 	return tab, target, nil
+}
+
+// faultNames lists the selectable scenario names.
+func faultNames() []string {
+	var names []string
+	for _, sc := range experiment.FaultScenarios() {
+		names = append(names, sc.Name)
+	}
+	return names
+}
+
+// faultScenario resolves a scenario by name.
+func faultScenario(name string) (experiment.FaultScenario, error) {
+	for _, sc := range experiment.FaultScenarios() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return experiment.FaultScenario{}, fmt.Errorf("unknown fault scenario %q (have: %s)",
+		name, strings.Join(faultNames(), ", "))
+}
+
+// printHealth reports the controller's ledger against the injector's
+// delivered counts after a faulted run.
+func printHealth(ctl *core.Controller, inj *fault.Injector) {
+	h := ctl.Health()
+	fmt.Printf("injected faults: %+v\n", inj.Counts())
+	fmt.Printf("controller health: actuation failures=%d (retries %d), reinstalls=%d, max-freq restores=%d\n",
+		h.ActuationFailures, h.ActuationRetries, h.GovernorReinstalls, h.MaxFreqRestores)
+	fmt.Printf("  samples gated=%d (non-finite %d, stuck %d, outlier %d), watchdog trips=%d, degraded cycles=%d, relinquished=%v\n",
+		h.RejectedSamples, h.NonFiniteSamples, h.StuckSamples, h.OutlierSamples,
+		h.WatchdogTrips, h.DegradedCycles, h.Relinquished)
 }
 
 func fatal(format string, args ...any) {

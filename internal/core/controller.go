@@ -58,6 +58,10 @@ type Options struct {
 	// that costs 30% more power. Defaults to 2% when zero; negative
 	// disables pruning.
 	EpsilonDominance float64
+	// Resilience configures the fault-handling ladder (retry →
+	// reinstall → safe-config → relinquish). The zero value enables the
+	// hardened defaults; set Disabled for the unhardened baseline.
+	Resilience Resilience
 }
 
 // DefaultOptions returns the paper's operating parameters for the given
@@ -112,6 +116,19 @@ type Controller struct {
 	slotIdx   int
 	attached  bool
 	lastAlloc Allocation
+
+	// Resilience state (resilience.go).
+	res              Resilience
+	health           Health
+	retriesLeft      int    // actuation retry budget for the current cycle
+	cycleFailed      bool   // an actuation failed unrecovered this cycle
+	degraded         bool   // watchdog pinned the safe configuration
+	recentY          []float64
+	outlierRun       int // consecutive outlier rejections (persistence-accept)
+	stockCPUGov      string // governor to hand back on relinquish
+	stockBWGov       string
+	installedMaxFreq string // legitimate scaling_max_freq value
+	cyclesRun        int    // total runCycle invocations (measured or not)
 
 	// Diagnostics.
 	cycles       int
@@ -169,6 +186,7 @@ func New(opt Options) (*Controller, error) {
 		allocCache: make(map[float64]Allocation),
 		perf:       perftool.MustNew(opt.PerfPeriod, opt.Seed),
 		kf:         kf,
+		res:        opt.Resilience.withDefaults(),
 		sPrev: clamp(opt.TargetGIPS/b0,
 			entries[0].Speedup, entries[len(entries)-1].Speedup),
 		slots: make([]profile.Entry, nSlots),
@@ -202,6 +220,7 @@ func clamp(x, lo, hi float64) float64 { return math.Max(lo, math.Min(hi, x)) }
 // equivalent of the paper's `echo userspace > scaling_governor` setup.
 func (c *Controller) Install(eng *sim.Engine) error {
 	ph := eng.Phone()
+	c.recordInstallState(ph)
 	if err := ph.FS().Write(sysfs.CPUScalingGovernor, sim.GovUserspace); err != nil {
 		return fmt.Errorf("core: set cpu governor: %w", err)
 	}
@@ -229,59 +248,105 @@ func (c *Controller) Period() time.Duration { return c.opt.Quantum }
 
 // Tick implements sim.Actor.
 func (c *Controller) Tick(now time.Duration, ph *sim.Phone) {
-	if c.slotIdx == 0 {
-		c.runCycle(ph)
+	if c.health.Relinquished {
+		return // the stock governors own the device again
 	}
-	c.apply(ph, c.slots[c.slotIdx])
+	if c.slotIdx == 0 {
+		c.retriesLeft = c.res.MaxRetriesPerCycle
+		c.runCycle(ph)
+		if c.health.Relinquished {
+			return
+		}
+	}
+	if !c.applySlot(ph, c.slots[c.slotIdx]) {
+		c.cycleFailed = true
+	}
 	c.slotIdx = (c.slotIdx + 1) % len(c.slots)
 }
 
-// runCycle executes Eqns. (2)–(7) for one control cycle.
+// runCycle executes Eqns. (2)–(7) for one control cycle, wrapped in the
+// resilience layer: the previous cycle's verdict (actuation failures,
+// governor ownership, measurement validity) feeds the watchdog before
+// the optimizer runs.
 func (c *Controller) runCycle(ph *sim.Phone) {
+	c.cyclesRun++
+	failing := c.cycleFailed
+	c.cycleFailed = false
+	if !c.checkOwnership(ph) {
+		failing = true
+	}
+
 	// The controller consumes the performance of its whole previous
 	// cycle (the paper measures twice per 2 s cycle and regulates on
 	// the cycle's performance).
 	y, ok := c.perf.MeanOver(c.opt.CycleT)
 	if ok {
 		c.lastMeasured = y
-		e := c.opt.TargetGIPS - y // Eqn. (2)
-		c.cycles++
-		c.sumAbsErr += math.Abs(e)
 
-		// Phase-aware mode: recognize the cycle's phase and resume the
-		// integrator from that phase's converged state.
-		if c.tracker != nil {
-			c.tracker.Classify(y)
-			if s, found := c.tracker.Load(); found {
-				c.sPrev = s
-			}
-		}
-
-		// Kalman update of the base speed from z = y_n / s_{n-1}
-		// (§III-B3). s_{n-1} is the speedup actually scheduled during
-		// the window — the applied allocation's expectation.
+		// z = y_n / s_{n-1} (§III-B3). s_{n-1} is the speedup actually
+		// scheduled during the window — the applied allocation's
+		// expectation.
 		applied := c.lastAlloc.ExpectedSpeedup
 		if applied < 1e-9 {
 			applied = c.sPrev
 		}
+		z := math.Inf(1)
 		if applied > 1e-9 {
-			if _, err := c.kf.Update(y / applied); err != nil {
-				// Non-finite measurement: skip the estimate update.
-				_ = err
+			z = y / applied
+		}
+
+		accepted := c.gate(y, z)
+		if accepted {
+			// Kalman update of the base speed. A non-finite measurement
+			// that a disabled gate let through is counted as rejected
+			// and the regulator falls back to the prior estimate.
+			if _, err := c.kf.Update(z); err != nil {
+				c.health.NonFiniteSamples++
+				c.health.RejectedSamples++
+				accepted = false
 			}
 		}
-		b, _ := c.kf.Estimate()
-		if b < 1e-6 {
-			b = c.opt.Table.BaseGIPS
+		if accepted {
+			e := c.opt.TargetGIPS - y // Eqn. (2)
+			c.cycles++
+			c.sumAbsErr += math.Abs(e)
+
+			// Phase-aware mode: recognize the cycle's phase and resume
+			// the integrator from that phase's converged state.
+			if c.tracker != nil {
+				c.tracker.Classify(y)
+				if s, found := c.tracker.Load(); found {
+					c.sPrev = s
+				}
+			}
+			b, _ := c.kf.Estimate()
+			if b < 1e-6 {
+				b = c.opt.Table.BaseGIPS
+			}
+			// Eqn. (3): adaptive-gain integrator with pole damping,
+			// clamped to the speedups the (pruned) table can actually
+			// deliver (anti-windup).
+			s := c.sPrev + (1-c.opt.Pole)*e/b
+			c.sPrev = clamp(s, c.entries[0].Speedup, c.entries[len(c.entries)-1].Speedup)
+			if c.tracker != nil {
+				c.tracker.Store(c.sPrev)
+			}
+		} else {
+			failing = true
 		}
-		// Eqn. (3): adaptive-gain integrator with pole damping,
-		// clamped to the speedups the (pruned) table can actually
-		// deliver (anti-windup).
-		s := c.sPrev + (1-c.opt.Pole)*e/b
-		c.sPrev = clamp(s, c.entries[0].Speedup, c.entries[len(c.entries)-1].Speedup)
-		if c.tracker != nil {
-			c.tracker.Store(c.sPrev)
+	} else if c.cyclesRun >= 2 {
+		// After the first full cycle a healthy perf pipeline always has
+		// readings; none means every sample in the window was dropped.
+		failing = true
+	}
+
+	if c.watchdog(ph, failing) {
+		// Degraded (safe schedule installed) or relinquished: skip the
+		// optimizer. The watchdog's own compute still costs energy.
+		if !c.health.Relinquished {
+			ph.AddOverlayEnergyJ(cycleOverheadJ)
 		}
+		return
 	}
 
 	start := time.Now()
@@ -341,18 +406,23 @@ func (c *Controller) fillSlots(a Allocation) {
 	}
 }
 
-// apply actuates one slot through the sysfs userspace files.
-func (c *Controller) apply(ph *sim.Phone, e profile.Entry) {
+// apply actuates one slot through the sysfs userspace files. A failed
+// write — transient kernel error, or a governor flipped back by an OEM
+// daemon — surfaces to the retry/watchdog path in applySlot, which is
+// how a hijack is actually detected between ownership checks.
+func (c *Controller) apply(ph *sim.Phone, e profile.Entry) error {
 	s := ph.SoC()
 	khz := int(s.Freq(e.FreqIdx).GHz()*1e6 + 0.5)
-	// Errors are impossible after Install switched the governors; if
-	// someone flipped them back, the write fails and the phone simply
-	// keeps its governor-driven state.
-	_ = ph.FS().Write(sysfs.CPUScalingSetSpeed, strconv.Itoa(khz))
+	if err := ph.FS().Write(sysfs.CPUScalingSetSpeed, strconv.Itoa(khz)); err != nil {
+		return err
+	}
 	if !c.opt.CPUOnly && e.BWIdx >= 0 {
 		mbps := int(s.BW(e.BWIdx).MBps())
-		_ = ph.FS().Write(sysfs.DevFreqSetFreq, strconv.Itoa(mbps))
+		if err := ph.FS().Write(sysfs.DevFreqSetFreq, strconv.Itoa(mbps)); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Cycles returns how many closed-loop cycles have run.

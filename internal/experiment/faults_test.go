@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"aspeo/internal/fault"
+	"aspeo/internal/workload"
+)
+
+// TestFaultCampaignSmoke is the CI smoke test (`make smoke-faults`): one
+// scenario against one app at Quick fidelity must produce a coherent
+// row — faults delivered, ledger populated, hardened slack bounded by
+// the stock governors' slack under the same scenario.
+func TestFaultCampaignSmoke(t *testing.T) {
+	cfg := Quick()
+	scenario := FaultScenario{
+		Name: "smoke-combined",
+		Desc: "write failures + hijack + noisy perf",
+		Plan: fault.Plan{
+			WriteFailProb: 0.2,
+			Hijacks:       []fault.Hijack{{At: 8 * time.Second, Repeat: 12 * time.Second}},
+			DropProb:      0.1, SpikeProb: 0.05,
+		},
+	}
+	res, err := cfg.FaultCampaign([]*workload.Spec{workload.Spotify()}, []FaultScenario{scenario})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row.TargetGIPS <= 0 {
+		t.Fatal("no fault-free target measured")
+	}
+	inj := row.Injected
+	if inj.WriteFailures == 0 || inj.Hijacks == 0 || inj.DroppedSamples == 0 {
+		t.Fatalf("scenario delivered too few faults: %+v", inj)
+	}
+	h := row.Health
+	if h.ActuationFailures == 0 || h.GovernorReinstalls == 0 {
+		t.Fatalf("hardened ledger empty under a combined scenario: %+v", h)
+	}
+	if row.UnhardenedHealth.GovernorReinstalls != 0 {
+		t.Fatal("unhardened condition reinstalled governors")
+	}
+	// The acceptance bound: hardened performance no worse than the stock
+	// governors under the same faults (small tolerance for noise).
+	if row.Hardened.GIPS < 0.9*row.Stock.GIPS {
+		t.Fatalf("hardened %.4f GIPS vs stock %.4f under faults",
+			row.Hardened.GIPS, row.Stock.GIPS)
+	}
+}
+
+// The campaign must replay bit-identically at any worker count: same
+// seeds, same plans, same cells — the determinism contract of
+// internal/par extended through the fault injector.
+func TestFaultCampaignParallelMatchesSerial(t *testing.T) {
+	scenarios := []FaultScenario{
+		{Name: "writes", Plan: fault.Plan{WriteFailProb: 0.3}},
+		{Name: "hijack", Plan: fault.Plan{Hijacks: []fault.Hijack{{At: 6 * time.Second}}}},
+	}
+	specs := []*workload.Spec{workload.Spotify(), workload.AngryBirds()}
+
+	run := func(workers int) string {
+		cfg := Quick()
+		cfg.Workers = workers
+		res, err := cfg.FaultCampaign(specs, scenarios)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v", res.Rows)
+	}
+	serial := run(1)
+	parallel := run(4)
+	if serial != parallel {
+		t.Fatalf("fault campaign not worker-count invariant:\nserial:   %.200s\nparallel: %.200s",
+			serial, parallel)
+	}
+}

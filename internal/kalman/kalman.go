@@ -108,6 +108,10 @@ func (f *Filter) Estimate() (float64, error) {
 // Variance returns the current estimate variance.
 func (f *Filter) Variance() float64 { return f.p }
 
+// MeasurementVariance returns the configured measurement noise variance
+// R; controllers scale their innovation gates by sqrt(P + R).
+func (f *Filter) MeasurementVariance() float64 { return f.r }
+
 // Gain returns the Kalman gain applied by the most recent Update.
 func (f *Filter) Gain() float64 { return f.lastGain }
 

@@ -54,6 +54,13 @@ type Reading struct {
 // cycles at any sane period).
 const historyLen = 64
 
+// FaultHook intercepts a completed raw reading before it is published.
+// It may rewrite the reading (spikes, stuck counters) or drop it
+// entirely by returning keep=false — the reading then never reaches
+// Last or MeanOver, as when perf's ring buffer overflows on the device.
+// Installed by internal/fault; nil means pass-through.
+type FaultHook func(r Reading) (out Reading, keep bool)
+
 // Perf is the sampling reader. It implements sim.Actor.
 type Perf struct {
 	period time.Duration
@@ -66,6 +73,9 @@ type Perf struct {
 	history     []Reading // most recent last
 	seq         int
 	attached    bool
+
+	hook    FaultHook
+	dropped int
 }
 
 // New creates a perf reader with the given sampling period.
@@ -132,13 +142,28 @@ func (p *Perf) Tick(now time.Duration, ph *sim.Phone) {
 	if gips < 0 {
 		gips = 0
 	}
+	r := Reading{GIPS: gips, Window: window, EndedAt: now, Seq: p.seq + 1}
+	if p.hook != nil {
+		var keep bool
+		if r, keep = p.hook(r); !keep {
+			p.dropped++
+			return
+		}
+	}
 	p.seq++
-	p.last = Reading{GIPS: gips, Window: window, EndedAt: now, Seq: p.seq}
+	r.Seq = p.seq
+	p.last = r
 	p.history = append(p.history, p.last)
 	if len(p.history) > historyLen {
 		p.history = p.history[len(p.history)-historyLen:]
 	}
 }
+
+// SetFaultHook installs (or, with nil, removes) the reading interceptor.
+func (p *Perf) SetFaultHook(h FaultHook) { p.hook = h }
+
+// Dropped returns how many completed readings the fault hook discarded.
+func (p *Perf) Dropped() int { return p.dropped }
 
 // Detach removes the instrumentation costs from the phone (perf stopped).
 func (p *Perf) Detach(ph *sim.Phone) {
@@ -155,20 +180,29 @@ func (p *Perf) Last() (Reading, bool) {
 
 // MeanOver returns the time-weighted mean GIPS of the readings covering
 // (approximately) the trailing `span` — what a controller with a control
-// cycle longer than the sampling period consumes. ok is false when no
-// reading exists yet.
+// cycle longer than the sampling period consumes. Readings whose window
+// closed before the span began — stale survivors of dropped samples —
+// are excluded, so ok is false for a non-positive span, before the first
+// window closes, and when every sample inside the span was dropped.
 func (p *Perf) MeanOver(span time.Duration) (float64, bool) {
-	if len(p.history) == 0 {
+	if span <= 0 || len(p.history) == 0 {
 		return 0, false
 	}
+	cutoff := p.prevAt - span
 	var sum, weight float64
 	covered := time.Duration(0)
 	for i := len(p.history) - 1; i >= 0 && covered < span; i-- {
 		r := p.history[i]
+		if r.EndedAt <= cutoff {
+			break // window entirely before the span: stale
+		}
 		w := r.Window.Seconds()
 		sum += r.GIPS * w
 		weight += w
 		covered += r.Window
+	}
+	if weight == 0 {
+		return 0, false
 	}
 	return sum / weight, true
 }

@@ -156,3 +156,119 @@ func TestHistoryBounded(t *testing.T) {
 		t.Fatal("MeanOver must work at the cap")
 	}
 }
+
+func TestMeanOverDegenerateSpans(t *testing.T) {
+	ph := newPhone(t)
+	eng := sim.NewEngine(ph)
+	p := MustNew(time.Second, 42)
+	eng.MustRegister(p)
+	eng.Run(5*time.Second, false)
+
+	if _, ok := p.MeanOver(0); ok {
+		t.Fatal("zero-length window must report no data")
+	}
+	if _, ok := p.MeanOver(-time.Second); ok {
+		t.Fatal("negative window must report no data")
+	}
+	// A window shorter than the control cycle still yields the latest
+	// reading.
+	m, ok := p.MeanOver(100 * time.Millisecond)
+	if !ok || m <= 0 {
+		t.Fatalf("sub-period window: %v, %v", m, ok)
+	}
+}
+
+// When samples are dropped, readings older than the requested span must
+// not leak into the mean: MeanOver covers trailing time, not a trailing
+// reading count.
+func TestMeanOverExcludesStaleReadingsAfterDrops(t *testing.T) {
+	ph := newPhone(t)
+	eng := sim.NewEngine(ph)
+	p := MustNew(time.Second, 42)
+	// Poison the early history: gigantic readings, then drop everything
+	// in the middle so they sit right below the fresh ones.
+	drop := false
+	p.SetFaultHook(func(r Reading) (Reading, bool) {
+		if r.EndedAt <= 3*time.Second {
+			r.GIPS = 100 // absurd; must never reach a 2 s mean at t=20 s
+			return r, true
+		}
+		if drop = r.EndedAt < 18*time.Second; drop {
+			return r, false
+		}
+		return r, true
+	})
+	eng.MustRegister(p)
+	eng.Run(20*time.Second, false)
+
+	if p.Dropped() == 0 {
+		t.Fatal("hook dropped nothing; test proves nothing")
+	}
+	m, ok := p.MeanOver(2 * time.Second)
+	if !ok {
+		t.Fatal("no mean despite fresh readings")
+	}
+	if m > 50 {
+		t.Fatalf("stale poisoned readings leaked into the mean: %v", m)
+	}
+}
+
+// A window in which every sample was dropped must report no data, not a
+// stale mean — the controller treats that as a failing cycle.
+func TestMeanOverAllSamplesDropped(t *testing.T) {
+	ph := newPhone(t)
+	eng := sim.NewEngine(ph)
+	p := MustNew(time.Second, 42)
+	p.SetFaultHook(func(r Reading) (Reading, bool) { return r, false })
+	eng.MustRegister(p)
+	eng.Run(10*time.Second, false)
+
+	if p.Dropped() != 9 {
+		t.Fatalf("Dropped = %d, want 9 (one per closed window)", p.Dropped())
+	}
+	if _, ok := p.Last(); ok {
+		t.Fatal("Last reported a reading although every sample was dropped")
+	}
+	if _, ok := p.MeanOver(2 * time.Second); ok {
+		t.Fatal("MeanOver reported data although every sample was dropped")
+	}
+}
+
+// The hook can rewrite a reading in place (spikes, zeros); the published
+// reading and history carry the rewritten value.
+func TestFaultHookRewritesReading(t *testing.T) {
+	ph := newPhone(t)
+	eng := sim.NewEngine(ph)
+	p := MustNew(time.Second, 42)
+	p.SetFaultHook(func(r Reading) (Reading, bool) {
+		r.GIPS *= 4
+		return r, true
+	})
+	eng.MustRegister(p)
+	st := eng.Run(10*time.Second, false)
+
+	r, ok := p.Last()
+	if !ok {
+		t.Fatal("no reading")
+	}
+	if r.GIPS < 2*st.GIPS {
+		t.Fatalf("hook rewrite not visible: reading %.4f, true %.4f", r.GIPS, st.GIPS)
+	}
+	if p.Dropped() != 0 {
+		t.Fatalf("Dropped = %d for a rewrite-only hook", p.Dropped())
+	}
+}
+
+// Clearing the hook restores pass-through behavior.
+func TestFaultHookCleared(t *testing.T) {
+	p := MustNew(time.Second, 42)
+	p.SetFaultHook(func(r Reading) (Reading, bool) { return r, false })
+	p.SetFaultHook(nil)
+	ph := newPhone(t)
+	eng := sim.NewEngine(ph)
+	eng.MustRegister(p)
+	eng.Run(5*time.Second, false)
+	if _, ok := p.Last(); !ok {
+		t.Fatal("cleared hook still dropping readings")
+	}
+}

@@ -1,0 +1,65 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"aspeo/internal/experiment"
+)
+
+// Faults renders the fault-resilience campaign: per (scenario, app) the
+// performance slack of the three conditions against the fault-free
+// target, the hardened controller's energy standing versus the stock
+// governors, and the fault/repair ledger.
+func Faults(w io.Writer, r *experiment.FaultCampaignResult) {
+	fmt.Fprintln(w, "Fault resilience — performance slack vs fault-free target (negative = slower)")
+	for _, sc := range r.Scenarios {
+		fmt.Fprintf(w, "\nScenario %s: %s\n", sc.Name, sc.Desc)
+		fmt.Fprintf(w, "%-18s  %8s  %8s  %8s  %10s\n",
+			"Application", "stock", "unhard.", "hardened", "energy Δ")
+		for _, row := range r.Rows {
+			if row.Scenario != sc.Name {
+				continue
+			}
+			fmt.Fprintf(w, "%-18s  %+7.1f%%  %+7.1f%%  %+7.1f%%  %+9.1f%%\n",
+				Label(row.App), row.StockSlackPct, row.UnhardenedSlackPct,
+				row.HardenedSlackPct, row.HardenedVsStockEnergyPct)
+		}
+		for _, row := range r.Rows {
+			if row.Scenario != sc.Name {
+				continue
+			}
+			h, inj := row.Health, row.Injected
+			fmt.Fprintf(w, "  %s ledger: %d/%d write faults retried-through, %d/%d hijacks reinstalled, "+
+				"%d samples gated (%d outlier, %d stuck, %d non-finite)",
+				Label(row.App),
+				h.ActuationFailures, inj.WriteFailures+inj.StuckWrites,
+				h.GovernorReinstalls, inj.Hijacks,
+				h.RejectedSamples, h.OutlierSamples, h.StuckSamples, h.NonFiniteSamples)
+			if h.WatchdogTrips > 0 {
+				fmt.Fprintf(w, ", watchdog tripped %d× (%d degraded cycles)",
+					h.WatchdogTrips, h.DegradedCycles)
+			}
+			if h.Relinquished {
+				fmt.Fprint(w, ", RELINQUISHED to stock governors")
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// FaultsCSV exports the campaign rows for plotting.
+func FaultsCSV(w io.Writer, r *experiment.FaultCampaignResult) {
+	fmt.Fprintln(w, "scenario,app,target_gips,stock_slack_pct,unhardened_slack_pct,"+
+		"hardened_slack_pct,hardened_vs_stock_energy_pct,actuation_failures,"+
+		"governor_reinstalls,rejected_samples,watchdog_trips,degraded_cycles,relinquished")
+	for _, row := range r.Rows {
+		h := row.Health
+		fmt.Fprintf(w, "%s,%s,%.4f,%.2f,%.2f,%.2f,%.2f,%d,%d,%d,%d,%d,%v\n",
+			row.Scenario, row.App, row.TargetGIPS,
+			row.StockSlackPct, row.UnhardenedSlackPct, row.HardenedSlackPct,
+			row.HardenedVsStockEnergyPct,
+			h.ActuationFailures, h.GovernorReinstalls, h.RejectedSamples,
+			h.WatchdogTrips, h.DegradedCycles, h.Relinquished)
+	}
+}

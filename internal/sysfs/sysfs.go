@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"unicode"
 )
 
 // Errors returned by FS operations.
@@ -28,6 +29,7 @@ var (
 	ErrNotExist   = errors.New("sysfs: no such file")
 	ErrPermission = errors.New("sysfs: permission denied")
 	ErrInvalid    = errors.New("sysfs: invalid argument")
+	ErrBusy       = errors.New("sysfs: device or resource busy")
 )
 
 // WriteHook observes or intercepts a write. It receives the old and new
@@ -39,6 +41,13 @@ type WriteHook func(path, old, new string) error
 // overriding the stored value.
 type ReadHook func(path string) string
 
+// Interceptor observes every Write before the file's own write hook runs
+// and may reject it, leaving the old value in place — the way a kernel
+// store() callback returns -EBUSY or -EINVAL transiently regardless of
+// the value written. One interceptor serves the whole tree; the fault
+// injector installs it.
+type Interceptor func(path, value string) error
+
 // file is one sysfs node.
 type file struct {
 	value     string
@@ -49,8 +58,9 @@ type file struct {
 
 // FS is an in-memory sysfs tree. It is safe for concurrent use.
 type FS struct {
-	mu    sync.RWMutex
-	files map[string]*file
+	mu        sync.RWMutex
+	files     map[string]*file
+	intercept Interceptor
 }
 
 // New returns an empty tree.
@@ -58,11 +68,14 @@ func New() *FS {
 	return &FS{files: make(map[string]*file)}
 }
 
-// clean canonicalizes a path: exactly one leading slash, no trailing slash.
+// clean canonicalizes a path: exactly one leading slash, no trailing
+// slash, no surrounding whitespace. Trimming slashes can expose more
+// whitespace ("a /" → "a "), so both are trimmed as one predicate, which
+// makes clean idempotent.
 func clean(path string) string {
-	path = strings.TrimSpace(path)
-	path = "/" + strings.Trim(path, "/")
-	return path
+	return "/" + strings.TrimFunc(path, func(r rune) bool {
+		return r == '/' || unicode.IsSpace(r)
+	})
 }
 
 // Create registers a file. Writable files accept Write; read-only files
@@ -92,6 +105,15 @@ func (fs *FS) OnWrite(path string, hook WriteHook) {
 		panic(fmt.Sprintf("sysfs: OnWrite on missing file %q", path))
 	}
 	f.writeHook = hook
+}
+
+// SetInterceptor installs (or, with nil, removes) the tree-wide write
+// interceptor. An interceptor error aborts the write before the file's
+// own hook runs and the file keeps its old value.
+func (fs *FS) SetInterceptor(fn Interceptor) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.intercept = fn
 }
 
 // Exists reports whether path is registered.
@@ -136,8 +158,14 @@ func (fs *FS) Write(path, value string) error {
 	}
 	old := f.value
 	hook := f.writeHook
+	icept := fs.intercept
 	fs.mu.Unlock()
 
+	if icept != nil {
+		if err := icept(p, value); err != nil {
+			return fmt.Errorf("sysfs: write %s=%q failed: %w", path, value, err)
+		}
+	}
 	if hook != nil {
 		if err := hook(p, old, value); err != nil {
 			return fmt.Errorf("sysfs: write %s=%q rejected: %w", path, value, err)
