@@ -1,14 +1,14 @@
 # CI entry points. `make ci` is what .github/workflows/ci.yml runs:
 # vet, build, the full test suite under the race detector, a
 # single-iteration pass over the optimizer benchmarks to keep them
-# compiling and honest, the fault-campaign smoke test, and — when the
-# tools are on PATH — staticcheck and govulncheck.
+# compiling and honest, the fault-campaign and record/replay smoke
+# tests, and — when the tools are on PATH — staticcheck and govulncheck.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-campaign smoke-faults lint vuln fuzz
+.PHONY: ci vet build test race bench bench-campaign smoke-faults smoke-replay lint vuln fuzz
 
-ci: vet build race bench smoke-faults lint vuln
+ci: vet build race bench smoke-faults smoke-replay lint vuln
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +29,13 @@ bench:
 # ledger populated, hardened slack bounded by the stock governors'.
 smoke-faults:
 	$(GO) test -run=TestFaultCampaignSmoke ./internal/experiment/
+
+# The platform layer's acceptance path end to end: record a live run at
+# full rate, round-trip the trace through the JSON wire format, replay
+# it through platform/replay, and require the controller's allocation
+# sequence to match cycle for cycle.
+smoke-replay:
+	$(GO) test -count=1 -run=TestReplayGolden ./internal/platform/replay/
 
 # staticcheck and govulncheck run when installed (CI installs them);
 # locally they no-op with a note rather than failing the build.

@@ -24,12 +24,12 @@ import (
 
 func main() {
 	var (
-		app    = flag.String("app", "", "application to profile: "+strings.Join(workload.Names(), ", "))
-		load   = flag.String("load", "BL", "background load: NL, BL or HL")
-		mode   = flag.String("mode", "coordinated", "profiling mode: coordinated (CPU+bandwidth) or governed (CPU only, bandwidth under cpubw_hwmon)")
-		out    = flag.String("o", "", "output JSON path (default: stdout)")
-		print  = flag.Bool("print", false, "also print the table in paper Table I format")
-		quick  = flag.Bool("quick", false, "single seed, short windows (lower fidelity)")
+		app     = flag.String("app", "", "application to profile: "+strings.Join(workload.Names(), ", "))
+		load    = flag.String("load", "BL", "background load: NL, BL or HL")
+		mode    = flag.String("mode", "coordinated", "profiling mode: coordinated (CPU+bandwidth) or governed (CPU only, bandwidth under cpubw_hwmon)")
+		out     = flag.String("o", "", "output JSON path (default: stdout)")
+		print   = flag.Bool("print", false, "also print the table in paper Table I format")
+		quick   = flag.Bool("quick", false, "single seed, short windows (lower fidelity)")
 		seeds   = flag.Int("runs", 3, "runs per configuration (the paper averages 3)")
 		window  = flag.Duration("window", 36*time.Second, "measurement window per configuration")
 		warmup  = flag.Duration("warmup", 4*time.Second, "settling time per configuration")

@@ -8,6 +8,7 @@
 //	aspeo-run -app angrybirds -controller -profile angrybirds.json -target 0.44
 //	aspeo-run -app spotify -controller            # profiles + targets automatically
 //	aspeo-run -app spotify -controller -faults combined   # inject a fault scenario
+//	aspeo-run -app spotify -record run.json       # full-rate trace for platform/replay
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"aspeo/internal/fault"
 	"aspeo/internal/governor"
 	"aspeo/internal/perftool"
+	"aspeo/internal/platform"
 	"aspeo/internal/profile"
 	"aspeo/internal/report"
 	"aspeo/internal/sim"
@@ -42,6 +44,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "reduced-fidelity profiling when done on the fly")
 		histograms = flag.Bool("hist", false, "print residency histograms")
 		traceCSV   = flag.String("trace", "", "write a time-series trace CSV to this path")
+		recordJSON = flag.String("record", "", "write a full-rate JSON trace (replayable via platform/replay) to this path")
 		faultName  = flag.String("faults", "", "inject a fault scenario: "+strings.Join(faultNames(), ", "))
 	)
 	flag.Parse()
@@ -55,18 +58,18 @@ func main() {
 		fatal("%v", err)
 	}
 
-	cfg := sim.Config{Foreground: spec, Load: bg, Seed: *seed, ScreenOn: true, WiFiOn: true}
+	var traceEvery time.Duration
 	if *traceCSV != "" {
-		cfg.TraceEvery = 100 * time.Millisecond
+		traceEvery = 100 * time.Millisecond
 	}
-	ph, err := sim.NewPhone(cfg)
-	if err != nil {
-		fatal("%v", err)
+	if *recordJSON != "" {
+		// Replay needs one point per engine step; the CSV (if also
+		// requested) shares the full-rate recorder.
+		traceEvery = sim.DefaultStep
 	}
-	eng := sim.NewEngine(ph)
 
 	// The injector registers first so its clock leads the actors it
-	// torments; it is armed once the I/O surfaces exist.
+	// torments; it decorates the controller's (or perf's) I/O surfaces.
 	var inj *fault.Injector
 	if *faultName != "" {
 		sc, err := faultScenario(*faultName)
@@ -77,63 +80,91 @@ func main() {
 		if err != nil {
 			fatal("%v", err)
 		}
-		eng.MustRegister(inj)
 		fmt.Printf("fault scenario %s: %s\n", sc.Name, sc.Desc)
 	}
 
-	if *useCtl {
-		tab, tgt, err := tableAndTarget(spec, bg, *profPath, *target, *quick, *cpuOnly)
-		if err != nil {
-			fatal("%v", err)
-		}
-		opts := core.DefaultOptions(tab, tgt)
-		opts.Seed = *seed
-		opts.CPUOnly = *cpuOnly
-		ctl, err := core.New(opts)
-		if err != nil {
-			fatal("%v", err)
-		}
-		if *cpuOnly {
-			eng.MustRegister(governor.NewDevFreq())
-		}
-		if err := ctl.Install(eng); err != nil {
-			fatal("%v", err)
-		}
+	var ctl *core.Controller
+	install := func(r platform.Runner) error {
 		if inj != nil {
-			// Stock governors stand by to take over after a hijack or a
-			// relinquish; they idle while the governor files read
-			// "userspace".
-			governor.Defaults(eng)
-			inj.Arm(ph, ctl.Perf())
-			defer func() { printHealth(ctl, inj) }()
+			if err := r.Register(inj); err != nil {
+				return err
+			}
 		}
-		fmt.Printf("controller: target %.4f GIPS, table %d entries (base %.4f GIPS)\n",
-			tgt, tab.Len(), tab.BaseGIPS)
-	} else {
-		if err := ph.FS().Write(sysfs.CPUScalingGovernor, *gov); err != nil {
-			fatal("setting governor: %v", err)
+		if *useCtl {
+			tab, tgt, err := tableAndTarget(spec, bg, *profPath, *target, *quick, *cpuOnly)
+			if err != nil {
+				return err
+			}
+			opts := core.DefaultOptions(tab, tgt)
+			opts.Seed = *seed
+			opts.CPUOnly = *cpuOnly
+			ctl, err = core.New(opts)
+			if err != nil {
+				return err
+			}
+			if *cpuOnly {
+				if err := r.Register(governor.NewDevFreq()); err != nil {
+					return err
+				}
+			}
+			ctlRunner := r
+			if inj != nil {
+				ctlRunner = fault.WrapRunner(r, inj)
+			}
+			if err := ctl.Install(ctlRunner); err != nil {
+				return err
+			}
+			if inj != nil {
+				// Stock governors stand by to take over after a hijack
+				// or a relinquish; they idle while the governor files
+				// read "userspace".
+				if err := governor.Defaults(r); err != nil {
+					return err
+				}
+				fault.WrapPerf(ctl.Perf(), inj)
+			}
+			fmt.Printf("controller: target %.4f GIPS, table %d entries (base %.4f GIPS)\n",
+				tgt, tab.Len(), tab.BaseGIPS)
+			return nil
 		}
-		governor.Defaults(eng)
+		if err := r.Device().WriteFile(sysfs.CPUScalingGovernor, *gov); err != nil {
+			return fmt.Errorf("setting governor: %w", err)
+		}
+		if err := governor.Defaults(r); err != nil {
+			return err
+		}
 		p := perftool.MustNew(time.Second, *seed)
-		eng.MustRegister(p)
-		if inj != nil {
-			inj.Arm(ph, p)
-			defer func() { fmt.Printf("injected faults: %+v\n", inj.Counts()) }()
+		if err := r.Register(p); err != nil {
+			return err
 		}
+		if inj != nil {
+			fault.WrapPerf(p, inj)
+		}
+		return nil
 	}
 
-	var st sim.Stats
-	if spec.DeadlineCritical {
-		st = eng.Run(spec.RunFor*3, true)
-	} else {
-		st = eng.Run(spec.RunFor, false)
+	h, err := experiment.NewHarness(experiment.HarnessConfig{
+		Foreground: spec, Load: bg, Seed: *seed,
+		TraceEvery: traceEvery, Install: install,
+	})
+	if err != nil {
+		fatal("%v", err)
 	}
+	st := h.RunSession()
+	ph := h.Phone
 
 	fmt.Printf("app=%s load=%s runtime=%.1fs energy=%.1fJ avg-power=%.3fW peak=%.3fW gips=%.4f freq-changes=%d bw-changes=%d\n",
 		spec.Name, bg, st.Duration.Seconds(), st.EnergyJ, st.AvgPowerW, st.PeakPowerW,
 		st.GIPS, st.FreqChanges, st.BWChanges)
 	if st.DroppedInstr > 0 {
 		fmt.Printf("dropped foreground work: %.3g instructions\n", st.DroppedInstr)
+	}
+	if inj != nil {
+		if ctl != nil {
+			printHealth(ctl, inj)
+		} else {
+			fmt.Printf("injected faults: %+v\n", inj.Counts())
+		}
 	}
 	if *histograms {
 		fmt.Println()
@@ -146,9 +177,23 @@ func main() {
 		if err != nil {
 			fatal("%v", err)
 		}
-		defer f.Close()
 		if err := ph.Recorder().WriteCSV(f); err != nil {
 			fatal("writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("writing trace: %v", err)
+		}
+	}
+	if *recordJSON != "" {
+		f, err := os.Create(*recordJSON)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := ph.Recorder().WriteJSON(f); err != nil {
+			fatal("writing recording: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("writing recording: %v", err)
 		}
 	}
 }

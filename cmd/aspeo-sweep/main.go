@@ -22,7 +22,9 @@ import (
 	"strings"
 	"time"
 
+	"aspeo/internal/experiment"
 	"aspeo/internal/par"
+	"aspeo/internal/platform"
 	"aspeo/internal/sim"
 	"aspeo/internal/soc"
 	"aspeo/internal/workload"
@@ -70,17 +72,17 @@ func main() {
 	}
 	rows, err := par.Map(context.Background(), par.Workers(*workers), len(cells),
 		func(_ context.Context, i int) (sim.Stats, error) {
-			ph, err := sim.NewPhone(sim.Config{
+			h, err := experiment.NewHarness(experiment.HarnessConfig{
 				Foreground: &looped, Load: bg, Seed: *seed,
-				ScreenOn: true, WiFiOn: true,
+				Install: func(r platform.Runner) error {
+					return r.Register(&sim.FixedConfigActor{FreqIdx: cells[i].fi, BWIdx: cells[i].bi})
+				},
 			})
 			if err != nil {
 				return sim.Stats{}, err
 			}
-			eng := sim.NewEngine(ph)
-			eng.MustRegister(&sim.FixedConfigActor{FreqIdx: cells[i].fi, BWIdx: cells[i].bi})
-			eng.Run(*warmup, false)
-			return eng.Run(*window, false), nil
+			h.Engine.Run(*warmup, false)
+			return h.Engine.Run(*window, false), nil
 		})
 	if err != nil {
 		fatal("%v", err)

@@ -9,30 +9,25 @@ import (
 	"time"
 
 	"aspeo/internal/core"
+	"aspeo/internal/experiment"
 	"aspeo/internal/governor"
 	"aspeo/internal/perftool"
+	"aspeo/internal/platform"
 	"aspeo/internal/profile"
 	"aspeo/internal/sim"
 	"aspeo/internal/sysfs"
 	"aspeo/internal/workload"
 )
 
-func run(spec *workload.Spec, install func(*sim.Engine, *sim.Phone) error) (sim.Stats, error) {
-	ph, err := sim.NewPhone(sim.Config{
+func run(spec *workload.Spec, install func(platform.Runner) error) (sim.Stats, error) {
+	h, err := experiment.NewHarness(experiment.HarnessConfig{
 		Foreground: spec, Load: workload.BaselineLoad, Seed: 101,
-		ScreenOn: true, WiFiOn: true,
+		Install: install,
 	})
 	if err != nil {
 		return sim.Stats{}, err
 	}
-	eng := sim.NewEngine(ph)
-	if err := install(eng, ph); err != nil {
-		return sim.Stats{}, err
-	}
-	if spec.DeadlineCritical {
-		return eng.Run(spec.RunFor*3, true), nil
-	}
-	return eng.Run(spec.RunFor, false), nil
+	return h.RunSession(), nil
 }
 
 func main() {
@@ -44,12 +39,14 @@ func main() {
 	var defaultGIPS float64
 	for _, g := range govs {
 		g := g
-		st, err := run(spec, func(eng *sim.Engine, ph *sim.Phone) error {
-			if err := ph.FS().Write(sysfs.CPUScalingGovernor, g); err != nil {
+		st, err := run(spec, func(r platform.Runner) error {
+			if err := r.Device().WriteFile(sysfs.CPUScalingGovernor, g); err != nil {
 				return err
 			}
-			governor.Defaults(eng)
-			return eng.Register(perftool.MustNew(time.Second, 101))
+			if err := governor.Defaults(r); err != nil {
+				return err
+			}
+			return r.Register(perftool.MustNew(time.Second, 101))
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -69,14 +66,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	st, err := run(spec, func(eng *sim.Engine, ph *sim.Phone) error {
+	st, err := run(spec, func(r platform.Runner) error {
 		co := core.DefaultOptions(tab, defaultGIPS)
 		co.Seed = 101
 		ctl, err := core.New(co)
 		if err != nil {
 			return err
 		}
-		return ctl.Install(eng)
+		return ctl.Install(r)
 	})
 	if err != nil {
 		log.Fatal(err)

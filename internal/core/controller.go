@@ -8,8 +8,8 @@ import (
 
 	"aspeo/internal/kalman"
 	"aspeo/internal/perftool"
+	"aspeo/internal/platform"
 	"aspeo/internal/profile"
-	"aspeo/internal/sim"
 	"aspeo/internal/sysfs"
 )
 
@@ -62,6 +62,10 @@ type Options struct {
 	// reinstall → safe-config → relinquish). The zero value enables the
 	// hardened defaults; set Disabled for the unhardened baseline.
 	Resilience Resilience
+	// LogAllocations keeps a per-cycle record of every optimizer
+	// decision, retrievable via AllocationLog. Used by the replay golden
+	// tests to compare two runs decision-for-decision.
+	LogAllocations bool
 }
 
 // DefaultOptions returns the paper's operating parameters for the given
@@ -93,8 +97,19 @@ const allocCacheMax = 256
 // operating point skips the solve entirely.
 const allocCacheScale = 4096
 
+// AllocationRecord is one entry of the controller's decision log: the
+// control-cycle ordinal, the clock when the cycle ran, the speedup the
+// regulator demanded, and the allocation the optimizer chose.
+type AllocationRecord struct {
+	Cycle  int
+	At     time.Duration
+	Target float64
+	Alloc  Allocation
+}
+
 // Controller is the online controller K plus the scheduler S of Fig. 2.
-// It implements sim.Actor at the scheduler quantum.
+// It implements platform.Actor at the scheduler quantum and drives any
+// platform.Device.
 type Controller struct {
 	opt     Options
 	entries []profile.Entry // sorted by ascending speedup
@@ -110,21 +125,24 @@ type Controller struct {
 	perf           *perftool.Perf
 	kf             *kalman.Filter
 
+	dev platform.Device // the device under control; set by Install
+
 	sPrev     float64 // speedup applied during the previous cycle
 	tracker   *PhaseTracker
 	slots     []profile.Entry
 	slotIdx   int
 	attached  bool
 	lastAlloc Allocation
+	allocLog  []AllocationRecord
 
 	// Resilience state (resilience.go).
 	res              Resilience
 	health           Health
-	retriesLeft      int    // actuation retry budget for the current cycle
-	cycleFailed      bool   // an actuation failed unrecovered this cycle
-	degraded         bool   // watchdog pinned the safe configuration
+	retriesLeft      int  // actuation retry budget for the current cycle
+	cycleFailed      bool // an actuation failed unrecovered this cycle
+	degraded         bool // watchdog pinned the safe configuration
 	recentY          []float64
-	outlierRun       int // consecutive outlier rejections (persistence-accept)
+	outlierRun       int    // consecutive outlier rejections (persistence-accept)
 	stockCPUGov      string // governor to hand back on relinquish
 	stockBWGov       string
 	installedMaxFreq string // legitimate scaling_max_freq value
@@ -216,49 +234,76 @@ func New(opt Options) (*Controller, error) {
 func clamp(x, lo, hi float64) float64 { return math.Max(lo, math.Min(hi, x)) }
 
 // Install switches the relevant governors to userspace and registers the
-// perf reader and the controller on the engine. This is the programmatic
+// perf reader and the controller on the runner. This is the programmatic
 // equivalent of the paper's `echo userspace > scaling_governor` setup.
-func (c *Controller) Install(eng *sim.Engine) error {
-	ph := eng.Phone()
-	c.recordInstallState(ph)
-	if err := ph.FS().Write(sysfs.CPUScalingGovernor, sim.GovUserspace); err != nil {
-		return fmt.Errorf("core: set cpu governor: %w", err)
-	}
-	if !c.opt.CPUOnly {
-		if err := ph.FS().Write(sysfs.DevFreqGovernor, sim.GovUserspace); err != nil {
-			return fmt.Errorf("core: set devfreq governor: %w", err)
-		}
-	}
-	if err := eng.Register(c.perf); err != nil {
+// The runner's device — possibly a fault-decorated one — becomes the
+// device the controller actuates for the rest of its life; a governor
+// write that fails or silently doesn't stick (an OEM daemon racing the
+// setup) is reported rather than swallowed.
+func (c *Controller) Install(r platform.Runner) error {
+	dev := r.Device()
+	c.dev = dev
+	c.recordInstallState(dev)
+	if err := c.installGovernor(dev, sysfs.CPUScalingGovernor, "cpu"); err != nil {
 		return err
 	}
-	if err := eng.Register(c); err != nil {
+	if !c.opt.CPUOnly {
+		if err := c.installGovernor(dev, sysfs.DevFreqGovernor, "devfreq"); err != nil {
+			return err
+		}
+	}
+	if err := r.Register(c.perf); err != nil {
+		return err
+	}
+	if err := r.Register(c); err != nil {
 		return err
 	}
 	c.attached = true
 	return nil
 }
 
-// Name implements sim.Actor.
+// installGovernor switches one governor file to userspace and verifies
+// the write stuck — the same error path apply uses, so setup failures
+// are never silently ignored.
+func (c *Controller) installGovernor(dev platform.Device, path, what string) error {
+	if err := dev.WriteFile(path, platform.GovUserspace); err != nil {
+		return fmt.Errorf("core: set %s governor: %w", what, err)
+	}
+	got, err := dev.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("core: verify %s governor: %w", what, err)
+	}
+	if got != platform.GovUserspace {
+		return fmt.Errorf("core: %s governor write did not stick (have %q)", what, got)
+	}
+	return nil
+}
+
+// Name implements platform.Actor.
 func (c *Controller) Name() string { return "aspeo-controller" }
 
-// Period implements sim.Actor: the controller wakes at every scheduler
-// quantum; the control law runs on cycle boundaries.
+// Period implements platform.Actor: the controller wakes at every
+// scheduler quantum; the control law runs on cycle boundaries.
 func (c *Controller) Period() time.Duration { return c.opt.Quantum }
 
-// Tick implements sim.Actor.
-func (c *Controller) Tick(now time.Duration, ph *sim.Phone) {
+// Tick implements platform.Actor. The dev argument is the runner's
+// undecorated device; the controller actuates through the device Install
+// captured, which carries any fault decoration.
+func (c *Controller) Tick(now time.Duration, dev platform.Device) {
+	if c.dev == nil {
+		c.dev = dev
+	}
 	if c.health.Relinquished {
 		return // the stock governors own the device again
 	}
 	if c.slotIdx == 0 {
 		c.retriesLeft = c.res.MaxRetriesPerCycle
-		c.runCycle(ph)
+		c.runCycle(c.dev)
 		if c.health.Relinquished {
 			return
 		}
 	}
-	if !c.applySlot(ph, c.slots[c.slotIdx]) {
+	if !c.applySlot(c.dev, c.slots[c.slotIdx]) {
 		c.cycleFailed = true
 	}
 	c.slotIdx = (c.slotIdx + 1) % len(c.slots)
@@ -268,11 +313,11 @@ func (c *Controller) Tick(now time.Duration, ph *sim.Phone) {
 // resilience layer: the previous cycle's verdict (actuation failures,
 // governor ownership, measurement validity) feeds the watchdog before
 // the optimizer runs.
-func (c *Controller) runCycle(ph *sim.Phone) {
+func (c *Controller) runCycle(dev platform.Device) {
 	c.cyclesRun++
 	failing := c.cycleFailed
 	c.cycleFailed = false
-	if !c.checkOwnership(ph) {
+	if !c.checkOwnership(dev) {
 		failing = true
 	}
 
@@ -340,11 +385,11 @@ func (c *Controller) runCycle(ph *sim.Phone) {
 		failing = true
 	}
 
-	if c.watchdog(ph, failing) {
+	if c.watchdog(dev, failing) {
 		// Degraded (safe schedule installed) or relinquished: skip the
 		// optimizer. The watchdog's own compute still costs energy.
 		if !c.health.Relinquished {
-			ph.AddOverlayEnergyJ(cycleOverheadJ)
+			dev.AddOverlayEnergyJ(cycleOverheadJ)
 		}
 		return
 	}
@@ -358,9 +403,14 @@ func (c *Controller) runCycle(ph *sim.Phone) {
 		return
 	}
 	c.lastAlloc = alloc
+	if c.opt.LogAllocations {
+		c.allocLog = append(c.allocLog, AllocationRecord{
+			Cycle: c.cyclesRun, At: dev.Now(), Target: c.sPrev, Alloc: alloc,
+		})
+	}
 	c.fillSlots(alloc)
 	// Charge the regulator+optimizer compute cost (§V-A1).
-	ph.AddOverlayEnergyJ(cycleOverheadJ)
+	dev.AddOverlayEnergyJ(cycleOverheadJ)
 }
 
 // optimize resolves the target through the frontier fast path, with a
@@ -410,15 +460,15 @@ func (c *Controller) fillSlots(a Allocation) {
 // write — transient kernel error, or a governor flipped back by an OEM
 // daemon — surfaces to the retry/watchdog path in applySlot, which is
 // how a hijack is actually detected between ownership checks.
-func (c *Controller) apply(ph *sim.Phone, e profile.Entry) error {
-	s := ph.SoC()
+func (c *Controller) apply(dev platform.Device, e profile.Entry) error {
+	s := dev.SoC()
 	khz := int(s.Freq(e.FreqIdx).GHz()*1e6 + 0.5)
-	if err := ph.FS().Write(sysfs.CPUScalingSetSpeed, strconv.Itoa(khz)); err != nil {
+	if err := dev.WriteFile(sysfs.CPUScalingSetSpeed, strconv.Itoa(khz)); err != nil {
 		return err
 	}
 	if !c.opt.CPUOnly && e.BWIdx >= 0 {
 		mbps := int(s.BW(e.BWIdx).MBps())
-		if err := ph.FS().Write(sysfs.DevFreqSetFreq, strconv.Itoa(mbps)); err != nil {
+		if err := dev.WriteFile(sysfs.DevFreqSetFreq, strconv.Itoa(mbps)); err != nil {
 			return err
 		}
 	}
@@ -441,6 +491,10 @@ func (c *Controller) LastMeasuredGIPS() float64 { return c.lastMeasured }
 
 // LastAllocation returns the most recent optimizer decision.
 func (c *Controller) LastAllocation() Allocation { return c.lastAlloc }
+
+// AllocationLog returns the per-cycle decision log (nil unless
+// Options.LogAllocations was set).
+func (c *Controller) AllocationLog() []AllocationRecord { return c.allocLog }
 
 // BaseSpeedEstimate returns the Kalman filter's current base speed.
 func (c *Controller) BaseSpeedEstimate() float64 {

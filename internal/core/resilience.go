@@ -4,8 +4,8 @@ import (
 	"math"
 
 	"aspeo/internal/perftool"
+	"aspeo/internal/platform"
 	"aspeo/internal/profile"
-	"aspeo/internal/sim"
 	"aspeo/internal/sysfs"
 )
 
@@ -137,8 +137,8 @@ func (c *Controller) Perf() *perftool.Perf { return c.perf }
 // write is retried immediately (transient EBUSY/EINVAL clears between
 // attempts) while the cycle's retry budget lasts. It reports whether the
 // configuration landed.
-func (c *Controller) applySlot(ph *sim.Phone, e profile.Entry) bool {
-	err := c.apply(ph, e)
+func (c *Controller) applySlot(dev platform.Device, e profile.Entry) bool {
+	err := c.apply(dev, e)
 	if err == nil {
 		return true
 	}
@@ -149,7 +149,7 @@ func (c *Controller) applySlot(ph *sim.Phone, e profile.Entry) bool {
 	for c.retriesLeft > 0 {
 		c.retriesLeft--
 		c.health.ActuationRetries++
-		if err = c.apply(ph, e); err == nil {
+		if err = c.apply(dev, e); err == nil {
 			return true
 		}
 		c.health.ActuationFailures++
@@ -161,25 +161,24 @@ func (c *Controller) applySlot(ph *sim.Phone, e profile.Entry) bool {
 // files and repairs hijacks: a rewritten scaling_governor is switched
 // back to userspace, a clamped scaling_max_freq is restored to its
 // installed value. It reports false when a repair attempt failed.
-func (c *Controller) checkOwnership(ph *sim.Phone) bool {
+func (c *Controller) checkOwnership(dev platform.Device) bool {
 	if c.res.Disabled || !c.attached {
 		return true
 	}
 	if c.res.OwnershipCheckEvery > 1 && c.cyclesRun%c.res.OwnershipCheckEvery != 0 {
 		return true
 	}
-	fs := ph.FS()
 	ok := true
-	if gov, err := fs.Read(sysfs.CPUScalingGovernor); err == nil && gov != sim.GovUserspace {
-		if werr := fs.Write(sysfs.CPUScalingGovernor, sim.GovUserspace); werr == nil {
+	if gov, err := dev.ReadFile(sysfs.CPUScalingGovernor); err == nil && gov != platform.GovUserspace {
+		if werr := dev.WriteFile(sysfs.CPUScalingGovernor, platform.GovUserspace); werr == nil {
 			c.health.GovernorReinstalls++
 		} else {
 			ok = false
 		}
 	}
 	if c.installedMaxFreq != "" {
-		if mf, err := fs.Read(sysfs.CPUScalingMaxFreq); err == nil && mf != c.installedMaxFreq {
-			if werr := fs.Write(sysfs.CPUScalingMaxFreq, c.installedMaxFreq); werr == nil {
+		if mf, err := dev.ReadFile(sysfs.CPUScalingMaxFreq); err == nil && mf != c.installedMaxFreq {
+			if werr := dev.WriteFile(sysfs.CPUScalingMaxFreq, c.installedMaxFreq); werr == nil {
 				c.health.MaxFreqRestores++
 			} else {
 				ok = false
@@ -187,8 +186,8 @@ func (c *Controller) checkOwnership(ph *sim.Phone) bool {
 		}
 	}
 	if !c.opt.CPUOnly {
-		if gov, err := fs.Read(sysfs.DevFreqGovernor); err == nil && gov != sim.GovUserspace {
-			if werr := fs.Write(sysfs.DevFreqGovernor, sim.GovUserspace); werr == nil {
+		if gov, err := dev.ReadFile(sysfs.DevFreqGovernor); err == nil && gov != platform.GovUserspace {
+			if werr := dev.WriteFile(sysfs.DevFreqGovernor, platform.GovUserspace); werr == nil {
 				c.health.GovernorReinstalls++
 			} else {
 				ok = false
@@ -248,7 +247,7 @@ func (c *Controller) pushRecentY(y float64) {
 // watchdog consumes one cycle's health verdict and walks the degradation
 // ladder. It returns true when the controller should skip the optimizer
 // because it is degraded or has relinquished control.
-func (c *Controller) watchdog(ph *sim.Phone, failing bool) bool {
+func (c *Controller) watchdog(dev platform.Device, failing bool) bool {
 	if c.res.Disabled {
 		return false
 	}
@@ -262,7 +261,7 @@ func (c *Controller) watchdog(ph *sim.Phone, failing bool) bool {
 		}
 	}
 	if c.health.ConsecutiveFailures >= c.res.RelinquishAfter {
-		c.relinquish(ph)
+		c.relinquish(dev)
 		return true
 	}
 	if !c.degraded && c.health.ConsecutiveFailures >= c.res.DegradeAfter {
@@ -295,42 +294,40 @@ func (c *Controller) safeAllocation() Allocation {
 // (best effort — the writes themselves may be failing) and stop
 // actuating for good. Registered stock governor actors take over from
 // the governor files; without them the device keeps its last state.
-func (c *Controller) relinquish(ph *sim.Phone) {
+func (c *Controller) relinquish(dev platform.Device) {
 	if c.health.Relinquished {
 		return
 	}
 	c.health.Relinquished = true
 	c.health.WatchdogTrips++
-	fs := ph.FS()
 	cpuGov := c.stockCPUGov
 	if cpuGov == "" {
-		cpuGov = sim.GovInteractive
+		cpuGov = platform.GovInteractive
 	}
-	_ = fs.Write(sysfs.CPUScalingGovernor, cpuGov)
+	_ = dev.WriteFile(sysfs.CPUScalingGovernor, cpuGov)
 	if c.installedMaxFreq != "" {
-		_ = fs.Write(sysfs.CPUScalingMaxFreq, c.installedMaxFreq)
+		_ = dev.WriteFile(sysfs.CPUScalingMaxFreq, c.installedMaxFreq)
 	}
 	if !c.opt.CPUOnly {
 		bwGov := c.stockBWGov
 		if bwGov == "" {
-			bwGov = sim.GovCPUBWHwmon
+			bwGov = platform.GovCPUBWHwmon
 		}
-		_ = fs.Write(sysfs.DevFreqGovernor, bwGov)
+		_ = dev.WriteFile(sysfs.DevFreqGovernor, bwGov)
 	}
 }
 
 // recordInstallState snapshots the pre-install governor names and the
 // max-freq bound, so hijack repair knows the legitimate values and
 // relinquish knows what to hand back to.
-func (c *Controller) recordInstallState(ph *sim.Phone) {
-	fs := ph.FS()
-	if gov, err := fs.Read(sysfs.CPUScalingGovernor); err == nil && gov != sim.GovUserspace {
+func (c *Controller) recordInstallState(dev platform.Device) {
+	if gov, err := dev.ReadFile(sysfs.CPUScalingGovernor); err == nil && gov != platform.GovUserspace {
 		c.stockCPUGov = gov
 	}
-	if gov, err := fs.Read(sysfs.DevFreqGovernor); err == nil && gov != sim.GovUserspace {
+	if gov, err := dev.ReadFile(sysfs.DevFreqGovernor); err == nil && gov != platform.GovUserspace {
 		c.stockBWGov = gov
 	}
-	if mf, err := fs.Read(sysfs.CPUScalingMaxFreq); err == nil {
+	if mf, err := dev.ReadFile(sysfs.CPUScalingMaxFreq); err == nil {
 		c.installedMaxFreq = mf
 	}
 }

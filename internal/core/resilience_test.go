@@ -149,8 +149,9 @@ func TestWatchdogLadder(t *testing.T) {
 }
 
 // installController builds a phone+engine with an injector registered
-// ahead of the controller (so its clock leads) and armed on both I/O
-// surfaces after install.
+// ahead of the controller (so its clock leads) and composed onto both
+// I/O surfaces: the controller installs through the fault-decorated
+// runner and its perf reader carries the injector's reading hook.
 func installController(t *testing.T, spec *workload.Spec, tab *profile.Table,
 	target float64, plan fault.Plan, mut func(*Options)) (*sim.Engine, *Controller, *fault.Injector) {
 	t.Helper()
@@ -175,10 +176,10 @@ func installController(t *testing.T, spec *workload.Spec, tab *profile.Table,
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ctl.Install(eng); err != nil {
+	if err := ctl.Install(fault.WrapRunner(eng, inj)); err != nil {
 		t.Fatal(err)
 	}
-	inj.Arm(ph, ctl.Perf())
+	fault.WrapPerf(ctl.Perf(), inj)
 	return eng, ctl, inj
 }
 
@@ -348,8 +349,9 @@ func TestHardenedSlackBoundedVsStock(t *testing.T) {
 	stockEng := sim.NewEngine(stockPh)
 	stockInj := fault.MustNewInjector(plan, 7)
 	stockEng.MustRegister(stockInj)
-	governor.Defaults(stockEng)
-	stockInj.Arm(stockPh, nil)
+	if err := governor.Defaults(stockEng); err != nil {
+		t.Fatal(err)
+	}
 	stockStats := stockEng.Run(40*time.Second, false)
 
 	// Hardened condition.

@@ -13,6 +13,7 @@ import (
 	"aspeo/internal/core"
 	"aspeo/internal/governor"
 	"aspeo/internal/perftool"
+	"aspeo/internal/platform"
 	"aspeo/internal/profile"
 	"aspeo/internal/sim"
 	"aspeo/internal/stats"
@@ -98,27 +99,15 @@ type RunResult struct {
 // runOne executes one run of spec under the given installer and returns
 // stats plus the phone for residency extraction.
 func runOne(spec *workload.Spec, load workload.BGLoad, seed int64,
-	install func(*sim.Engine) error) (sim.Stats, *sim.Phone, error) {
+	install func(platform.Runner) error) (sim.Stats, *sim.Phone, error) {
 
-	ph, err := sim.NewPhone(sim.Config{
-		Foreground: spec, Load: load, Seed: seed, ScreenOn: true, WiFiOn: true,
+	h, err := NewHarness(HarnessConfig{
+		Foreground: spec, Load: load, Seed: seed, Install: install,
 	})
 	if err != nil {
 		return sim.Stats{}, nil, err
 	}
-	eng := sim.NewEngine(ph)
-	if err := install(eng); err != nil {
-		return sim.Stats{}, nil, err
-	}
-	var st sim.Stats
-	if spec.DeadlineCritical {
-		// Deadline apps run to completion (bounded by 3× the nominal
-		// session for pathological configurations).
-		st = eng.Run(spec.RunFor*3, true)
-	} else {
-		st = eng.Run(spec.RunFor, false)
-	}
-	return st, ph, nil
+	return h.RunSession(), h.Phone, nil
 }
 
 // aggregate folds per-seed stats into a RunResult.
@@ -155,10 +144,12 @@ func (c Config) MeasureDefault(spec *workload.Spec, load workload.BGLoad) (RunRe
 	if err := c.validate(); err != nil {
 		return RunResult{}, err
 	}
-	all, last, err := c.runSeeds(spec, load, func(seed int64) func(*sim.Engine) error {
-		return func(eng *sim.Engine) error {
-			governor.Defaults(eng)
-			return eng.Register(perftool.MustNew(time.Second, seed))
+	all, last, err := c.runSeeds(spec, load, func(seed int64) func(platform.Runner) error {
+		return func(r platform.Runner) error {
+			if err := governor.Defaults(r); err != nil {
+				return err
+			}
+			return r.Register(perftool.MustNew(time.Second, seed))
 		}
 	})
 	if err != nil {
@@ -175,8 +166,8 @@ func (c Config) RunController(spec *workload.Spec, tab *profile.Table,
 	if err := c.validate(); err != nil {
 		return RunResult{}, err
 	}
-	all, last, err := c.runSeeds(spec, load, func(seed int64) func(*sim.Engine) error {
-		return func(eng *sim.Engine) error {
+	all, last, err := c.runSeeds(spec, load, func(seed int64) func(platform.Runner) error {
+		return func(r platform.Runner) error {
 			opts := core.DefaultOptions(tab, targetGIPS)
 			opts.Seed = seed
 			opts.CPUOnly = cpuOnly
@@ -186,9 +177,11 @@ func (c Config) RunController(spec *workload.Spec, tab *profile.Table,
 			}
 			if cpuOnly {
 				// The bandwidth stays under its default governor.
-				eng.MustRegister(governor.NewDevFreq())
+				if err := r.Register(governor.NewDevFreq()); err != nil {
+					return err
+				}
 			}
-			return ctl.Install(eng)
+			return ctl.Install(r)
 		}
 	})
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 	"aspeo/internal/governor"
 	"aspeo/internal/loadmodel"
 	"aspeo/internal/perftool"
+	"aspeo/internal/platform"
 	"aspeo/internal/sim"
 	"aspeo/internal/thermal"
 	"aspeo/internal/workload"
@@ -144,7 +145,7 @@ func (c Config) PhaseStudy() (*PhaseResult, error) {
 		phases := 0
 		for _, seed := range c.Seeds {
 			var ctl *core.Controller
-			st, ph, err := runOne(spec, workload.BaselineLoad, seed, func(eng *sim.Engine) error {
+			st, ph, err := runOne(spec, workload.BaselineLoad, seed, func(r platform.Runner) error {
 				opts := core.DefaultOptions(tab, def.GIPS)
 				opts.Seed = seed
 				opts.PhaseAware = phaseAware
@@ -153,7 +154,7 @@ func (c Config) PhaseStudy() (*PhaseResult, error) {
 				if err != nil {
 					return err
 				}
-				return ctl.Install(eng)
+				return ctl.Install(r)
 			})
 			if err != nil {
 				return Comparison{}, 0, err
@@ -207,32 +208,34 @@ func (c Config) ThermalStudy() (*ThermalResult, error) {
 	params.TripC = 36 // a tight envelope (hot day, case on) so gaming bites
 	params.ReleaseC = 33
 
-	run := func(install func(*sim.Engine) error) (*thermal.Monitor, error) {
+	run := func(install func(platform.Runner) error) (*thermal.Monitor, error) {
 		mon := thermal.MustNew(params)
-		_, _, err := runOne(spec, workload.BaselineLoad, c.Seeds[0], func(eng *sim.Engine) error {
-			if err := install(eng); err != nil {
+		_, _, err := runOne(spec, workload.BaselineLoad, c.Seeds[0], func(r platform.Runner) error {
+			if err := install(r); err != nil {
 				return err
 			}
-			return eng.Register(mon)
+			return r.Register(mon)
 		})
 		return mon, err
 	}
 
-	defMon, err := run(func(eng *sim.Engine) error {
-		governor.Defaults(eng)
-		return eng.Register(perftool.MustNew(time.Second, c.Seeds[0]))
+	defMon, err := run(func(r platform.Runner) error {
+		if err := governor.Defaults(r); err != nil {
+			return err
+		}
+		return r.Register(perftool.MustNew(time.Second, c.Seeds[0]))
 	})
 	if err != nil {
 		return nil, err
 	}
-	ctlMon, err := run(func(eng *sim.Engine) error {
+	ctlMon, err := run(func(r platform.Runner) error {
 		opts := core.DefaultOptions(tab, def.GIPS)
 		opts.Seed = c.Seeds[0]
 		ctl, err := core.New(opts)
 		if err != nil {
 			return err
 		}
-		return ctl.Install(eng)
+		return ctl.Install(r)
 	})
 	if err != nil {
 		return nil, err

@@ -8,6 +8,7 @@ import (
 	"aspeo/internal/fault"
 	"aspeo/internal/governor"
 	"aspeo/internal/perftool"
+	"aspeo/internal/platform"
 	"aspeo/internal/profile"
 	"aspeo/internal/sim"
 	"aspeo/internal/stats"
@@ -175,15 +176,19 @@ func (c Config) faultRow(prep faultPrep, sc FaultScenario) (FaultRow, error) {
 
 	// Stock: the default governors under the scenario. Perf rides along
 	// (as in MeasureDefault) so the instrumentation overhead matches.
-	stock, _, err := c.faultSeeds(prep.spec, sc.Plan, func(seed int64, inj *fault.Injector) func(*sim.Engine) error {
-		return func(eng *sim.Engine) error {
-			eng.MustRegister(inj)
-			governor.Defaults(eng)
-			p := perftool.MustNew(time.Second, seed)
-			if err := eng.Register(p); err != nil {
+	stock, _, err := c.faultSeeds(prep.spec, sc.Plan, func(seed int64, inj *fault.Injector) func(platform.Runner) error {
+		return func(r platform.Runner) error {
+			if err := r.Register(inj); err != nil {
 				return err
 			}
-			inj.Arm(eng.Phone(), p)
+			if err := governor.Defaults(r); err != nil {
+				return err
+			}
+			p := perftool.MustNew(time.Second, seed)
+			if err := r.Register(p); err != nil {
+				return err
+			}
+			fault.WrapPerf(p, inj)
 			return nil
 		}
 	})
@@ -196,9 +201,11 @@ func (c Config) faultRow(prep faultPrep, sc FaultScenario) (FaultRow, error) {
 	ctlCondition := func(res core.Resilience) (RunResult, core.Health, fault.Counts, error) {
 		var lastCtl *core.Controller
 		var lastInj *fault.Injector
-		rr, _, err := c.faultSeeds(prep.spec, sc.Plan, func(seed int64, inj *fault.Injector) func(*sim.Engine) error {
-			return func(eng *sim.Engine) error {
-				eng.MustRegister(inj)
+		rr, _, err := c.faultSeeds(prep.spec, sc.Plan, func(seed int64, inj *fault.Injector) func(platform.Runner) error {
+			return func(r platform.Runner) error {
+				if err := r.Register(inj); err != nil {
+					return err
+				}
 				opts := core.DefaultOptions(prep.tab, prep.target)
 				opts.Seed = seed
 				opts.Resilience = res
@@ -206,14 +213,18 @@ func (c Config) faultRow(prep faultPrep, sc FaultScenario) (FaultRow, error) {
 				if err != nil {
 					return err
 				}
-				if err := ctl.Install(eng); err != nil {
+				// The controller actuates through the fault-decorated
+				// device; everything else sees the clean surface.
+				if err := ctl.Install(fault.WrapRunner(r, inj)); err != nil {
 					return err
 				}
 				// Stock governors stand by: they idle while the sysfs
 				// governor files read "userspace" and take over after a
 				// hijack lands or the controller relinquishes.
-				governor.Defaults(eng)
-				inj.Arm(eng.Phone(), ctl.Perf())
+				if err := governor.Defaults(r); err != nil {
+					return err
+				}
+				fault.WrapPerf(ctl.Perf(), inj)
 				lastCtl, lastInj = ctl, inj
 				return nil
 			}
@@ -248,7 +259,7 @@ func (c Config) faultRow(prep faultPrep, sc FaultScenario) (FaultRow, error) {
 // gets its own injector built from (plan, seed), so fault sequences are
 // reproducible per seed and identical across the row's conditions.
 func (c Config) faultSeeds(spec *workload.Spec, plan fault.Plan,
-	install func(seed int64, inj *fault.Injector) func(*sim.Engine) error) (RunResult, *sim.Phone, error) {
+	install func(seed int64, inj *fault.Injector) func(platform.Runner) error) (RunResult, *sim.Phone, error) {
 
 	all := make([]sim.Stats, len(c.Seeds))
 	var last *sim.Phone

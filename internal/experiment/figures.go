@@ -5,7 +5,7 @@ import (
 
 	"aspeo/internal/governor"
 	"aspeo/internal/perftool"
-	"aspeo/internal/sim"
+	"aspeo/internal/platform"
 	"aspeo/internal/workload"
 )
 
@@ -23,9 +23,11 @@ func (c Config) Fig1() (*Fig1Result, error) {
 		return nil, err
 	}
 	spec := workload.EBook()
-	_, ph, err := runOne(spec, workload.BaselineLoad, c.Seeds[0], func(eng *sim.Engine) error {
-		governor.Defaults(eng)
-		return eng.Register(perftool.MustNew(time.Second, c.Seeds[0]))
+	_, ph, err := runOne(spec, workload.BaselineLoad, c.Seeds[0], func(r platform.Runner) error {
+		if err := governor.Defaults(r); err != nil {
+			return err
+		}
+		return r.Register(perftool.MustNew(time.Second, c.Seeds[0]))
 	})
 	if err != nil {
 		return nil, err

@@ -6,8 +6,8 @@ import (
 
 	"aspeo/internal/core"
 	"aspeo/internal/perftool"
+	"aspeo/internal/platform"
 	"aspeo/internal/profile"
-	"aspeo/internal/sim"
 	"aspeo/internal/workload"
 )
 
@@ -56,8 +56,8 @@ func (c Config) Overhead(tab *profile.Table, targetGIPS float64) (*OverheadResul
 	if err != nil {
 		return nil, err
 	}
-	st, ph, err := runOne(spec, workload.BaselineLoad, c.Seeds[0], func(eng *sim.Engine) error {
-		return ctl.Install(eng)
+	st, ph, err := runOne(spec, workload.BaselineLoad, c.Seeds[0], func(r platform.Runner) error {
+		return ctl.Install(r)
 	})
 	if err != nil {
 		return nil, err

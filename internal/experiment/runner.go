@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"aspeo/internal/par"
+	"aspeo/internal/platform"
 	"aspeo/internal/sim"
 	"aspeo/internal/workload"
 )
@@ -36,7 +37,7 @@ func (c Config) forEachCell(n int, fn func(i int) error) error {
 // in seed order; the returned phone is the last seed's device (the one
 // the serial campaign used for residency extraction).
 func (c Config) runSeeds(spec *workload.Spec, load workload.BGLoad,
-	install func(seed int64) func(*sim.Engine) error) ([]sim.Stats, *sim.Phone, error) {
+	install func(seed int64) func(platform.Runner) error) ([]sim.Stats, *sim.Phone, error) {
 
 	stats_ := make([]sim.Stats, len(c.Seeds))
 	phones := make([]*sim.Phone, len(c.Seeds))

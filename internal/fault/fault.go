@@ -26,7 +26,7 @@ import (
 	"time"
 
 	"aspeo/internal/perftool"
-	"aspeo/internal/sim"
+	"aspeo/internal/platform"
 	"aspeo/internal/soc"
 	"aspeo/internal/sysfs"
 )
@@ -145,9 +145,12 @@ type Counts struct {
 }
 
 // Injector executes one Plan against one simulation cell. It implements
-// sim.Actor for the scheduled events and the scenario clock; register it
-// before the actors it torments so its clock leads theirs, then Arm it
-// on the cell's sysfs tree and perf reader.
+// platform.Actor for the scheduled events and the scenario clock;
+// register it before the actors it torments so its clock leads theirs,
+// then compose it onto the cell's I/O surfaces with WrapRunner (or
+// WrapActuator) and WrapPerf. The injector is backend-agnostic: it
+// decorates platform interfaces, so one Plan torments the simulator, the
+// replay backend, or a real device identically.
 type Injector struct {
 	plan Plan
 	rng  *rand.Rand
@@ -188,34 +191,70 @@ func MustNewInjector(plan Plan, seed int64) *Injector {
 	return in
 }
 
-// Arm installs the injector on the cell's I/O surfaces: the sysfs write
-// interceptor and, when perf is non-nil, the perf reading hook.
-func (in *Injector) Arm(ph *sim.Phone, perf *perftool.Perf) {
-	ph.FS().SetInterceptor(in.interceptWrite)
-	if perf != nil {
-		perf.SetFaultHook(in.interceptReading)
-	}
+// WrapActuator decorates a device so every userspace sysfs write passes
+// through the injector: frozen files reject, faultable paths fail with
+// the planned probability. Root-semantics SetFile and all reads pass
+// through untouched, exactly like the kernel: faults hit the store path,
+// not the readback.
+func WrapActuator(dev platform.Device, in *Injector) platform.Device {
+	return &faultDevice{Device: dev, in: in}
 }
+
+type faultDevice struct {
+	platform.Device
+	in *Injector
+}
+
+// WriteFile implements platform.SysfsView with fault interception.
+func (d *faultDevice) WriteFile(path, value string) error {
+	if err := d.in.interceptWrite(path, value); err != nil {
+		return err
+	}
+	return d.Device.WriteFile(path, value)
+}
+
+// WrapPerf installs the injector's reading hook on a perf reader and
+// returns it, so wiring reads as one composition expression.
+func WrapPerf(p *perftool.Perf, in *Injector) *perftool.Perf {
+	p.SetFaultHook(in.interceptReading)
+	return p
+}
+
+// WrapRunner returns a runner whose Device carries the injector's write
+// decoration: actors installed through it (the controller, stock
+// governors) actuate through the faulty surface while the runner's
+// scheduling is untouched.
+func WrapRunner(r platform.Runner, in *Injector) platform.Runner {
+	return &faultRunner{Runner: r, dev: WrapActuator(r.Device(), in)}
+}
+
+type faultRunner struct {
+	platform.Runner
+	dev platform.Device
+}
+
+// Device implements platform.Runner.
+func (r *faultRunner) Device() platform.Device { return r.dev }
 
 // Counts returns the faults delivered so far.
 func (in *Injector) Counts() Counts { return in.counts }
 
-// Name implements sim.Actor.
+// Name implements platform.Actor.
 func (in *Injector) Name() string { return "fault-injector" }
 
-// Period implements sim.Actor: the injector's clock advances at the
+// Period implements platform.Actor: the injector's clock advances at the
 // sysfs-daemon granularity (100 ms), finer than every control period.
 func (in *Injector) Period() time.Duration { return 100 * time.Millisecond }
 
-// Tick implements sim.Actor: advance the scenario clock and fire due
-// hijack events.
-func (in *Injector) Tick(now time.Duration, ph *sim.Phone) {
+// Tick implements platform.Actor: advance the scenario clock and fire
+// due hijack events.
+func (in *Injector) Tick(now time.Duration, dev platform.Device) {
 	in.now = now
 	for i := range in.plan.Hijacks {
 		if in.nextFire[i] < 0 || now < in.nextFire[i] {
 			continue
 		}
-		in.fireHijack(ph, in.plan.Hijacks[i])
+		in.fireHijack(dev, in.plan.Hijacks[i])
 		if r := in.plan.Hijacks[i].Repeat; r > 0 {
 			in.nextFire[i] = now + r
 		} else {
@@ -225,28 +264,29 @@ func (in *Injector) Tick(now time.Duration, ph *sim.Phone) {
 }
 
 // fireHijack performs one governor-hijack event with root semantics
-// (Set bypasses hooks, permissions and the interceptor).
-func (in *Injector) fireHijack(ph *sim.Phone, h Hijack) {
+// (SetFile bypasses hooks, permissions and any fault decoration).
+func (in *Injector) fireHijack(dev platform.Device, h Hijack) {
 	gov := h.Governor
 	if gov == "" {
-		gov = sim.GovInteractive
+		gov = platform.GovInteractive
 	}
-	ph.FS().Set(sysfs.CPUScalingGovernor, gov)
+	dev.SetFile(sysfs.CPUScalingGovernor, gov)
 	if h.MaxFreqKHz > 0 {
-		ph.FS().Set(sysfs.CPUScalingMaxFreq, strconv.Itoa(h.MaxFreqKHz))
+		dev.SetFile(sysfs.CPUScalingMaxFreq, strconv.Itoa(h.MaxFreqKHz))
 		// msm_thermal clamps the running frequency too, not just the
 		// policy bound.
-		capIdx := ph.SoC().NearestFreqIdx(soc.Freq(float64(h.MaxFreqKHz) / 1e6))
-		if ph.CurFreqIdx() > capIdx {
-			ph.SetFreqIdx(capIdx)
+		capIdx := dev.SoC().NearestFreqIdx(soc.Freq(float64(h.MaxFreqKHz) / 1e6))
+		if dev.CurFreqIdx() > capIdx {
+			dev.SetFreqIdx(capIdx)
 		}
 	}
 	in.counts.Hijacks++
 }
 
-// interceptWrite is the sysfs.Interceptor: frozen files reject every
-// write; faultable paths fail with the planned probability inside the
-// failure window, alternating EBUSY and EINVAL deterministically.
+// interceptWrite vets one userspace write (the WrapActuator hot path):
+// frozen files reject every write; faultable paths fail with the planned
+// probability inside the failure window, alternating EBUSY and EINVAL
+// deterministically.
 func (in *Injector) interceptWrite(path, _ string) error {
 	for _, s := range in.plan.StuckFiles {
 		if s.Path == path && in.now >= s.From {

@@ -150,15 +150,15 @@ func TestInterceptWrite(t *testing.T) {
 		WriteFailProb: 1, // deterministic: every faultable write fails
 		StuckFiles:    []StuckFile{{Path: sysfs.CPUScalingMaxFreq, From: 5 * time.Second}},
 	}, 1)
-	in.Arm(ph, nil)
+	dev := WrapActuator(ph, in)
 
 	// Before the stuck onset the file accepts writes.
 	in.Tick(time.Second, ph)
-	if err := fs.Write(sysfs.CPUScalingMaxFreq, "1000000"); err != nil {
+	if err := dev.WriteFile(sysfs.CPUScalingMaxFreq, "1000000"); err != nil {
 		t.Fatalf("write before stuck onset failed: %v", err)
 	}
 	in.Tick(5*time.Second, ph)
-	if err := fs.Write(sysfs.CPUScalingMaxFreq, "2649600"); !errorsIsBusy(err) {
+	if err := dev.WriteFile(sysfs.CPUScalingMaxFreq, "2649600"); !errorsIsBusy(err) {
 		t.Fatalf("stuck file write error = %v, want EBUSY", err)
 	}
 	if v, _ := fs.Read(sysfs.CPUScalingMaxFreq); v != "1000000" {
@@ -169,8 +169,8 @@ func TestInterceptWrite(t *testing.T) {
 	}
 
 	// Probabilistic failures on the actuation file alternate errno.
-	err1 := fs.Write(sysfs.CPUScalingSetSpeed, "1000000")
-	err2 := fs.Write(sysfs.CPUScalingSetSpeed, "1000000")
+	err1 := dev.WriteFile(sysfs.CPUScalingSetSpeed, "1000000")
+	err2 := dev.WriteFile(sysfs.CPUScalingSetSpeed, "1000000")
 	if !errorsIsBusy(err1) {
 		t.Fatalf("first failure = %v, want EBUSY", err1)
 	}
@@ -182,7 +182,7 @@ func TestInterceptWrite(t *testing.T) {
 	}
 
 	// Non-faultable paths pass through untouched.
-	if err := fs.Write(sysfs.CPUScalingGovernor, sim.GovUserspace); err != nil {
+	if err := dev.WriteFile(sysfs.CPUScalingGovernor, sim.GovUserspace); err != nil {
 		t.Fatalf("non-faultable write failed: %v", err)
 	}
 }
@@ -196,12 +196,12 @@ func TestWriteFailureWindow(t *testing.T) {
 		WriteFailProb: 1,
 		WriteFailFrom: 2 * time.Second, WriteFailUntil: 4 * time.Second,
 	}, 1)
-	in.Arm(ph, nil)
+	dev := WrapActuator(ph, in)
 
 	check := func(now time.Duration, wantFail bool) {
 		t.Helper()
 		in.Tick(now, ph)
-		err := fs.Write(sysfs.CPUScalingSetSpeed, "1000000")
+		err := dev.WriteFile(sysfs.CPUScalingSetSpeed, "1000000")
 		if wantFail && err == nil {
 			t.Fatalf("write at %v succeeded inside the failure window", now)
 		}
@@ -271,10 +271,10 @@ func TestInjectorDeterminism(t *testing.T) {
 		fs := ph.FS()
 		fs.Write(sysfs.CPUScalingGovernor, sim.GovUserspace)
 		in := MustNewInjector(plan, seed)
-		in.Arm(ph, nil)
+		dev := WrapActuator(ph, in)
 		var sig string
 		for i := 0; i < 200; i++ {
-			err := fs.Write(sysfs.CPUScalingSetSpeed, "1000000")
+			err := dev.WriteFile(sysfs.CPUScalingSetSpeed, "1000000")
 			r, keep := in.interceptReading(perftool.Reading{GIPS: 1, Seq: i})
 			sig += fmt.Sprintf("%v|%v|%v;", err != nil, keep, r.GIPS)
 		}

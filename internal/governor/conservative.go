@@ -3,7 +3,7 @@ package governor
 import (
 	"time"
 
-	"aspeo/internal/sim"
+	"aspeo/internal/platform"
 )
 
 // ConservativeTunables configure the conservative cpufreq governor — the
@@ -39,12 +39,12 @@ func newConservative(tun ConservativeTunables) *conservative {
 	return &conservative{tun: tun}
 }
 
-func (g *conservative) tick(now time.Duration, ph *sim.Phone) {
+func (g *conservative) tick(now time.Duration, dev platform.Device) {
 	if now < g.nextSample {
 		return
 	}
 	g.nextSample = now + g.tun.SamplingRate
-	busy := ph.CumMachineBusySec()
+	busy := dev.CumMachineBusySec()
 	if !g.initialized {
 		g.initialized = true
 		g.lastBusy, g.lastTime = busy, now
@@ -57,11 +57,11 @@ func (g *conservative) tick(now time.Duration, ph *sim.Phone) {
 	load := (busy - g.lastBusy) / elapsed
 	g.lastBusy, g.lastTime = busy, now
 
-	cur := ph.CurFreqIdx()
+	cur := dev.CurFreqIdx()
 	switch {
 	case load >= g.tun.UpThreshold:
-		ph.SetFreqIdx(cur + g.tun.FreqStep)
+		dev.SetFreqIdx(cur + g.tun.FreqStep)
 	case load <= g.tun.DownThreshold:
-		ph.SetFreqIdx(cur - g.tun.FreqStep)
+		dev.SetFreqIdx(cur - g.tun.FreqStep)
 	}
 }

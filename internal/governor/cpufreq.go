@@ -15,7 +15,7 @@ package governor
 import (
 	"time"
 
-	"aspeo/internal/sim"
+	"aspeo/internal/platform"
 	"aspeo/internal/soc"
 	"aspeo/internal/sysfs"
 )
@@ -65,15 +65,15 @@ func newInteractive(tun InteractiveTunables) *interactive {
 }
 
 // tick runs one evaluation of the interactive algorithm.
-func (g *interactive) tick(now time.Duration, ph *sim.Phone) {
-	busy := ph.CumMachineBusySec()
+func (g *interactive) tick(now time.Duration, dev platform.Device) {
+	busy := dev.CumMachineBusySec()
 	if !g.initialized {
 		g.initialized = true
 		g.lastBusy, g.lastTime = busy, now
-		g.publishTunables(ph)
+		g.publishTunables(dev)
 		return
 	}
-	g.loadTunables(ph)
+	g.loadTunables(dev)
 	elapsed := (now - g.lastTime).Seconds()
 	if elapsed <= 0 {
 		return
@@ -87,12 +87,12 @@ func (g *interactive) tick(now time.Duration, ph *sim.Phone) {
 		load = 1
 	}
 
-	if ph.TakeTouches() > 0 {
+	if dev.TakeTouches() > 0 {
 		g.boostUntil = now + g.tun.InputBoost
 	}
 
-	cur := ph.CurFreqIdx()
-	s := ph.SoC()
+	cur := dev.CurFreqIdx()
+	s := dev.SoC()
 	maxIdx := len(s.CPUFreqs) - 1
 
 	// Frequency that would put the load at TargetLoad.
@@ -127,7 +127,7 @@ func (g *interactive) tick(now time.Duration, ph *sim.Phone) {
 
 	switch {
 	case target > cur:
-		ph.SetFreqIdx(target)
+		dev.SetFreqIdx(target)
 		g.floorUntil = now + g.tun.MinSampleTime
 		if target >= g.tun.HispeedFreqIdx {
 			g.hispeedTime = now
@@ -135,7 +135,7 @@ func (g *interactive) tick(now time.Duration, ph *sim.Phone) {
 	case target < cur:
 		// Down-steps wait out min_sample_time (the floor timer).
 		if now >= g.floorUntil {
-			ph.SetFreqIdx(target)
+			dev.SetFreqIdx(target)
 			g.floorUntil = now + g.tun.MinSampleTime
 		}
 	}
@@ -170,12 +170,12 @@ func newOndemand(tun OndemandTunables) *ondemand {
 	return &ondemand{tun: tun}
 }
 
-func (g *ondemand) tick(now time.Duration, ph *sim.Phone) {
+func (g *ondemand) tick(now time.Duration, dev platform.Device) {
 	if now < g.nextSample {
 		return
 	}
 	g.nextSample = now + g.tun.SamplingRate
-	busy := ph.CumMachineBusySec()
+	busy := dev.CumMachineBusySec()
 	if !g.initialized {
 		g.initialized = true
 		g.lastBusy, g.lastTime = busy, now
@@ -188,15 +188,15 @@ func (g *ondemand) tick(now time.Duration, ph *sim.Phone) {
 	load := (busy - g.lastBusy) / elapsed
 	g.lastBusy, g.lastTime = busy, now
 
-	s := ph.SoC()
+	s := dev.SoC()
 	if load >= g.tun.UpThreshold {
 		// Ondemand's signature move: straight to the maximum.
-		ph.SetFreqIdx(len(s.CPUFreqs) - 1)
+		dev.SetFreqIdx(len(s.CPUFreqs) - 1)
 		return
 	}
-	cur := ph.CurFreqIdx()
+	cur := dev.CurFreqIdx()
 	wantGHz := s.Freq(cur).GHz() * load / g.tun.DownFactor
-	ph.SetFreqIdx(s.NearestFreqIdx(freqFromGHz(wantGHz)))
+	dev.SetFreqIdx(s.NearestFreqIdx(freqFromGHz(wantGHz)))
 }
 
 // CPUFreq is the cpufreq policy engine: it dispatches to whichever
@@ -224,30 +224,30 @@ func NewCPUFreqTuned(it InteractiveTunables, ot OndemandTunables) *CPUFreq {
 	}
 }
 
-// Name implements sim.Actor.
+// Name implements platform.Actor.
 func (c *CPUFreq) Name() string { return "cpufreq" }
 
-// Period implements sim.Actor.
+// Period implements platform.Actor.
 func (c *CPUFreq) Period() time.Duration { return c.period }
 
 // Tick dispatches to the active governor.
-func (c *CPUFreq) Tick(now time.Duration, ph *sim.Phone) {
-	gov, err := ph.FS().Read(sysfs.CPUScalingGovernor)
+func (c *CPUFreq) Tick(now time.Duration, dev platform.Device) {
+	gov, err := dev.ReadFile(sysfs.CPUScalingGovernor)
 	if err != nil {
 		return
 	}
 	switch gov {
-	case sim.GovInteractive:
-		c.interactive.tick(now, ph)
-	case sim.GovOndemand:
-		c.ondemand.tick(now, ph)
-	case sim.GovConservative:
-		c.conservative.tick(now, ph)
-	case sim.GovPerformance:
-		ph.SetFreqIdx(len(ph.SoC().CPUFreqs) - 1)
-	case sim.GovPowersave:
-		ph.SetFreqIdx(0)
-	case sim.GovUserspace:
+	case platform.GovInteractive:
+		c.interactive.tick(now, dev)
+	case platform.GovOndemand:
+		c.ondemand.tick(now, dev)
+	case platform.GovConservative:
+		c.conservative.tick(now, dev)
+	case platform.GovPerformance:
+		dev.SetFreqIdx(len(dev.SoC().CPUFreqs) - 1)
+	case platform.GovPowersave:
+		dev.SetFreqIdx(0)
+	case platform.GovUserspace:
 		// The userspace governor does nothing on its own; frequency
 		// comes from scaling_setspeed writes.
 	}

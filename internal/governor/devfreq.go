@@ -3,7 +3,7 @@ package governor
 import (
 	"time"
 
-	"aspeo/internal/sim"
+	"aspeo/internal/platform"
 	"aspeo/internal/soc"
 	"aspeo/internal/sysfs"
 )
@@ -54,8 +54,8 @@ func newHwmon(tun HwmonTunables) *hwmon {
 	return &hwmon{tun: tun}
 }
 
-func (g *hwmon) tick(now time.Duration, ph *sim.Phone) {
-	bytes := ph.CumTrafficBytes()
+func (g *hwmon) tick(now time.Duration, dev platform.Device) {
+	bytes := dev.CumTrafficBytes()
 	if !g.initialized {
 		g.initialized = true
 		g.lastBytes, g.lastTime = bytes, now
@@ -69,13 +69,13 @@ func (g *hwmon) tick(now time.Duration, ph *sim.Phone) {
 	measuredMBps := (bytes - g.lastBytes) / elapsed / 1e6 * g.tun.EventInflation
 	g.lastBytes, g.lastTime = bytes, now
 
-	s := ph.SoC()
-	cur := s.BW(ph.CurBWIdx()).MBps()
+	s := dev.SoC()
+	cur := s.BW(dev.CurBWIdx()).MBps()
 	needed := measuredMBps / g.tun.IOPercent
 
 	if needed > cur {
 		// Ramp up immediately to fit the demand.
-		ph.SetBWIdx(s.NearestBWIdx(soc.Bandwidth(needed)))
+		dev.SetBWIdx(s.NearestBWIdx(soc.Bandwidth(needed)))
 		g.lowSince = now
 		return
 	}
@@ -93,7 +93,7 @@ func (g *hwmon) tick(now time.Duration, ph *sim.Phone) {
 		if min := s.NearestBWIdx(soc.Bandwidth(needed)); idx < min {
 			idx = min
 		}
-		ph.SetBWIdx(idx)
+		dev.SetBWIdx(idx)
 		g.lowSince = now
 	}
 }
@@ -125,34 +125,36 @@ func NewDevFreqTuned(tun HwmonTunables) *DevFreq {
 	return &DevFreq{hwmon: newHwmon(tun), period: 50 * time.Millisecond}
 }
 
-// Name implements sim.Actor.
+// Name implements platform.Actor.
 func (d *DevFreq) Name() string { return "devfreq" }
 
-// Period implements sim.Actor.
+// Period implements platform.Actor.
 func (d *DevFreq) Period() time.Duration { return d.period }
 
 // Tick dispatches to the active governor.
-func (d *DevFreq) Tick(now time.Duration, ph *sim.Phone) {
-	gov, err := ph.FS().Read(sysfs.DevFreqGovernor)
+func (d *DevFreq) Tick(now time.Duration, dev platform.Device) {
+	gov, err := dev.ReadFile(sysfs.DevFreqGovernor)
 	if err != nil {
 		return
 	}
 	switch gov {
-	case sim.GovCPUBWHwmon:
-		d.hwmon.tick(now, ph)
-	case sim.GovPerformance:
-		ph.SetBWIdx(len(ph.SoC().MemBWs) - 1)
-	case sim.GovPowersave:
-		ph.SetBWIdx(0)
-	case sim.GovUserspace:
+	case platform.GovCPUBWHwmon:
+		d.hwmon.tick(now, dev)
+	case platform.GovPerformance:
+		dev.SetBWIdx(len(dev.SoC().MemBWs) - 1)
+	case platform.GovPowersave:
+		dev.SetBWIdx(0)
+	case platform.GovUserspace:
 		// Bandwidth comes from userspace/set_freq writes.
 	}
 }
 
 // Defaults registers the Android default policy engines (interactive +
-// cpubw_hwmon) on an engine. The governor actually applied still follows
+// cpubw_hwmon) on a runner. The governor actually applied still follows
 // the sysfs governor files.
-func Defaults(eng *sim.Engine) {
-	eng.MustRegister(NewCPUFreq())
-	eng.MustRegister(NewDevFreq())
+func Defaults(r platform.Runner) error {
+	if err := r.Register(NewCPUFreq()); err != nil {
+		return err
+	}
+	return r.Register(NewDevFreq())
 }

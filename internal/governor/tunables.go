@@ -5,7 +5,7 @@ import (
 	"strconv"
 	"time"
 
-	"aspeo/internal/sim"
+	"aspeo/internal/platform"
 	"aspeo/internal/sysfs"
 )
 
@@ -27,12 +27,11 @@ const (
 )
 
 // publishTunables creates the sysfs files from the current tunables.
-func (g *interactive) publishTunables(ph *sim.Phone) {
-	fs := ph.FS()
-	if fs.Exists(TunableHispeedFreq) {
+func (g *interactive) publishTunables(dev platform.Device) {
+	if dev.FileExists(TunableHispeedFreq) {
 		return
 	}
-	khz := int(ph.SoC().Freq(g.tun.HispeedFreqIdx).GHz()*1e6 + 0.5)
+	khz := int(dev.SoC().Freq(g.tun.HispeedFreqIdx).GHz()*1e6 + 0.5)
 	entries := map[string]string{
 		TunableHispeedFreq:   strconv.Itoa(khz),
 		TunableGoHispeedLoad: strconv.Itoa(int(g.tun.GoHispeedLoad*100 + 0.5)),
@@ -42,8 +41,7 @@ func (g *interactive) publishTunables(ph *sim.Phone) {
 		TunableInputBoostMS:  strconv.Itoa(int(g.tun.InputBoost / time.Millisecond)),
 	}
 	for path, val := range entries {
-		fs.Create(path, val, true)
-		fs.OnWrite(path, requirePositiveInt)
+		dev.CreateFile(path, val, true, requirePositiveInt)
 	}
 }
 
@@ -62,30 +60,29 @@ func requirePositiveInt(path, _, val string) error {
 
 // loadTunables refreshes the in-memory tunables from sysfs, so userspace
 // writes take effect at the next evaluation.
-func (g *interactive) loadTunables(ph *sim.Phone) {
-	fs := ph.FS()
-	if v, ok := readInt(fs, TunableHispeedFreq); ok {
-		g.tun.HispeedFreqIdx = ph.SoC().NearestFreqIdx(khzToFreq(v))
+func (g *interactive) loadTunables(dev platform.Device) {
+	if v, ok := readInt(dev, TunableHispeedFreq); ok {
+		g.tun.HispeedFreqIdx = dev.SoC().NearestFreqIdx(khzToFreq(v))
 	}
-	if v, ok := readInt(fs, TunableGoHispeedLoad); ok {
+	if v, ok := readInt(dev, TunableGoHispeedLoad); ok {
 		g.tun.GoHispeedLoad = float64(v) / 100
 	}
-	if v, ok := readInt(fs, TunableAboveHispeed); ok {
+	if v, ok := readInt(dev, TunableAboveHispeed); ok {
 		g.tun.AboveHispeedWait = time.Duration(v) * time.Microsecond
 	}
-	if v, ok := readInt(fs, TunableMinSampleTime); ok {
+	if v, ok := readInt(dev, TunableMinSampleTime); ok {
 		g.tun.MinSampleTime = time.Duration(v) * time.Microsecond
 	}
-	if v, ok := readInt(fs, TunableTargetLoads); ok {
+	if v, ok := readInt(dev, TunableTargetLoads); ok {
 		g.tun.TargetLoad = float64(v) / 100
 	}
-	if v, ok := readInt(fs, TunableInputBoostMS); ok {
+	if v, ok := readInt(dev, TunableInputBoostMS); ok {
 		g.tun.InputBoost = time.Duration(v) * time.Millisecond
 	}
 }
 
-func readInt(fs *sysfs.FS, path string) (int, bool) {
-	s, err := fs.Read(path)
+func readInt(dev platform.SysfsView, path string) (int, bool) {
+	s, err := dev.ReadFile(path)
 	if err != nil {
 		return 0, false
 	}

@@ -21,8 +21,8 @@ import (
 	"math/rand"
 	"time"
 
+	"aspeo/internal/platform"
 	"aspeo/internal/pmu"
-	"aspeo/internal/sim"
 )
 
 // MinSamplingPeriod is the shortest period perf supports on the device.
@@ -61,7 +61,8 @@ const historyLen = 64
 // Installed by internal/fault; nil means pass-through.
 type FaultHook func(r Reading) (out Reading, keep bool)
 
-// Perf is the sampling reader. It implements sim.Actor.
+// Perf is the sampling reader. It implements platform.Actor and reads
+// any platform.Device.
 type Perf struct {
 	period time.Duration
 	rng    *rand.Rand
@@ -95,10 +96,10 @@ func MustNew(period time.Duration, seed int64) *Perf {
 	return p
 }
 
-// Name implements sim.Actor.
+// Name implements platform.Actor.
 func (p *Perf) Name() string { return "perf" }
 
-// Period implements sim.Actor.
+// Period implements platform.Actor.
 func (p *Perf) Period() time.Duration { return p.period }
 
 // OverheadFrac returns the fraction of machine time the sampling costs at
@@ -111,18 +112,17 @@ func (p *Perf) OverheadFrac() float64 {
 	return f
 }
 
-// Tick implements sim.Actor: close the current window, produce a reading,
-// and charge the instrumentation costs to the device.
-func (p *Perf) Tick(now time.Duration, ph *sim.Phone) {
+// Tick implements platform.Actor: close the current window, produce a
+// reading, and charge the instrumentation costs to the device.
+func (p *Perf) Tick(now time.Duration, dev platform.Device) {
 	if !p.attached {
 		// First tick: install the standing CPU and power overheads.
 		// Each sample costs ~15 mJ, so the average power overhead is
 		// 15 mW at the 1 s period the paper reports.
-		ph.SetPerfOverheadFrac(p.OverheadFrac())
-		ph.SetStandingOverlayW(powerPerSampleJ / p.period.Seconds())
+		dev.SetPerfOverhead(p.OverheadFrac(), powerPerSampleJ/p.period.Seconds())
 		p.attached = true
 	}
-	snap := ph.PMU().Snapshot()
+	snap := dev.PMUSnapshot()
 	if !p.initialized {
 		p.initialized = true
 		p.prev, p.prevAt = snap, now
@@ -165,10 +165,10 @@ func (p *Perf) SetFaultHook(h FaultHook) { p.hook = h }
 // Dropped returns how many completed readings the fault hook discarded.
 func (p *Perf) Dropped() int { return p.dropped }
 
-// Detach removes the instrumentation costs from the phone (perf stopped).
-func (p *Perf) Detach(ph *sim.Phone) {
-	ph.SetPerfOverheadFrac(0)
-	ph.SetStandingOverlayW(0)
+// Detach removes the instrumentation costs from the device (perf
+// stopped).
+func (p *Perf) Detach(dev platform.Device) {
+	dev.SetPerfOverhead(0, 0)
 	p.attached = false
 }
 

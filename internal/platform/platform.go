@@ -1,0 +1,196 @@
+// Package platform defines the device abstraction the runtime stack is
+// written against. The paper's controller is explicitly portable — it
+// needs a perf counter to read, a power rail to meter, and sysfs knobs
+// to write — so every software layer (the controller and its resilience
+// ladder, the stock governors, the perf tool, the fault injector)
+// consumes these capability interfaces instead of a concrete device.
+//
+// Backends implement Device: internal/sim's Phone (the cycle-accurate
+// simulator), internal/platform/replay (a trace-driven device replaying
+// a recorded run), and — the design target — a future adb/sysfs backend
+// driving real Android hardware.
+//
+// Backend contract:
+//
+//   - Single-threaded cell: a Device, its Runner and every registered
+//     Actor form one single-threaded cell. None of them needs to be safe
+//     for concurrent use, and none may hold global state; parallel
+//     campaigns run one cell per goroutine sharing only read-only inputs.
+//   - Determinism: for a fixed backend state and seed set, a run is
+//     bit-identical regardless of wall-clock time or worker count. All
+//     randomness comes from seeded PRNGs owned by actors.
+//   - Clock: Now is the backend's virtual (or measured) time; it is
+//     monotonically non-decreasing and advances only between actor ticks.
+//   - Fault decoration: fault injection composes over these interfaces
+//     (internal/fault's WrapActuator/WrapPerf/WrapRunner decorators), so
+//     a fault plan applies unchanged to any backend.
+package platform
+
+import (
+	"time"
+
+	"aspeo/internal/pmu"
+	"aspeo/internal/soc"
+	"aspeo/internal/sysfs"
+)
+
+// Governor names understood by the cpufreq/devfreq file protocol. They
+// belong to the platform contract: every backend's sysfs view speaks
+// them, and consumers compare against them when dispatching policies.
+const (
+	GovInteractive  = "interactive"
+	GovOndemand     = "ondemand"
+	GovUserspace    = "userspace"
+	GovPerformance  = "performance"
+	GovPowersave    = "powersave"
+	GovCPUBWHwmon   = "cpubw_hwmon"
+	GovConservative = "conservative"
+)
+
+// Clock exposes the backend's time base.
+type Clock interface {
+	// Now returns the current backend time. Monotonically non-decreasing.
+	Now() time.Duration
+}
+
+// PerfReader is the PMU surface the perf tool samples: consistent
+// counter snapshots from which GIPS windows are derived, plus the knob
+// for charging the sampling instrumentation's own cost to the device.
+type PerfReader interface {
+	// PMUSnapshot captures all hardware counters at once, so a reader
+	// can compute mutually consistent deltas.
+	PMUSnapshot() pmu.Snapshot
+	// SetPerfOverhead installs the sampling instrumentation's standing
+	// cost: cpuFrac of machine time plus standingW of power. Backends
+	// whose recorded/measured power already includes instrumentation
+	// (replay, real hardware) treat this as a no-op.
+	SetPerfOverhead(cpuFrac, standingW float64)
+}
+
+// PowerMeter is the power rail: per-step device power, its CPU
+// component (the heat source thermal models integrate), and a hook for
+// charging one-shot instrumentation energy.
+type PowerMeter interface {
+	// LastPowerW returns the device power over the most recent step.
+	LastPowerW() float64
+	// LastCPUPowerW returns the CPU share (dynamic + leakage) of the
+	// most recent step's power.
+	LastCPUPowerW() float64
+	// AddOverlayEnergyJ charges a one-shot instrumentation energy cost
+	// (controller compute, actuation) to the device. Backends that
+	// measure rather than model power ignore it.
+	AddOverlayEnergyJ(j float64)
+}
+
+// ConfigActuator is the DVFS actuation surface: the (CPU frequency,
+// memory bandwidth) ladder position and the thermal bound on it.
+// Index-based setters are the raw mechanism; policy software actuates
+// through the sysfs userspace-governor files (SysfsView), which route
+// here after protocol checks.
+type ConfigActuator interface {
+	// SoC describes the chip's frequency and bandwidth ladders.
+	SoC() *soc.SoC
+	// CurFreqIdx returns the current CPU frequency ladder index.
+	CurFreqIdx() int
+	// CurBWIdx returns the current bandwidth ladder index.
+	CurBWIdx() int
+	// SetFreqIdx requests a CPU frequency; out-of-range indices clamp
+	// and an active thermal cap bounds the request.
+	SetFreqIdx(i int)
+	// SetBWIdx requests a memory bandwidth vote; clamps like SetFreqIdx.
+	SetBWIdx(i int)
+	// SetThermalCapIdx bounds the CPU frequency at ladder index i (the
+	// thermal driver's mitigation); negative lifts the cap.
+	SetThermalCapIdx(i int)
+	// ThermalCapIdx returns the active cap, or -1 when none.
+	ThermalCapIdx() int
+}
+
+// SysfsView is the file protocol: the cpufreq/devfreq trees with their
+// kernel-faithful write semantics. This is the surface the fault
+// decorators intercept, so policy software MUST actuate through
+// WriteFile (not the raw index setters) to stay inside the fault model.
+type SysfsView interface {
+	// ReadFile returns the file's current value.
+	ReadFile(path string) (string, error)
+	// WriteFile writes with userspace semantics: permissions, write
+	// hooks and any installed decorator apply, and a rejected write
+	// leaves the old value in place.
+	WriteFile(path, value string) error
+	// SetFile writes with root semantics: hooks, permissions and
+	// decorators do not apply (an OEM daemon with root, the kernel
+	// itself). The fault injector's hijacks use it.
+	SetFile(path, value string)
+	// FileExists reports whether the path is registered.
+	FileExists(path string) bool
+	// CreateFile registers a new node — governors publishing tunables.
+	// A non-nil hook validates writes like a kernel store() callback.
+	CreateFile(path, initial string, writable bool, hook sysfs.WriteHook)
+}
+
+// Telemetry is the load-statistics surface the stock governors sample:
+// cumulative busy-time and traffic counters (snapshot and diff, like
+// /proc/stat) and the input-event queue.
+type Telemetry interface {
+	// CumMachineBusySec returns cumulative aggregate machine-busy
+	// seconds. Monotonically non-decreasing.
+	CumMachineBusySec() float64
+	// CumBusyCoreSec returns cumulative OS-visible busy core-seconds.
+	CumBusyCoreSec() float64
+	// CumTrafficBytes returns cumulative DRAM traffic.
+	CumTrafficBytes() float64
+	// TakeTouches drains and returns pending input events; an immediate
+	// second call returns 0.
+	TakeTouches() int
+}
+
+// Device bundles every capability a backend provides. Consumers should
+// accept the narrowest interface that covers their needs; Device is the
+// currency the Runner hands to actors.
+type Device interface {
+	Clock
+	PerfReader
+	PowerMeter
+	ConfigActuator
+	SysfsView
+	Telemetry
+}
+
+// Actor is a periodically scheduled software component: a governor, the
+// perf tool, the energy controller, the fault injector. Tick runs at
+// the actor's period boundaries, before the device advances.
+type Actor interface {
+	// Name identifies the actor in logs and errors.
+	Name() string
+	// Period is the scheduling interval; it must be a positive multiple
+	// of the runner's step.
+	Period() time.Duration
+	// Tick lets the actor observe and actuate the device.
+	Tick(now time.Duration, dev Device)
+}
+
+// Runner drives one device and its actors in lockstep — the backend's
+// event loop. sim.Engine and replay.Engine implement it.
+type Runner interface {
+	// Device returns the device the runner drives — possibly decorated
+	// (see fault.WrapRunner); actors that bind the device at install
+	// time must take it from here, not keep a backend pointer.
+	Device() Device
+	// Register adds an actor; it fails if the actor's period is not a
+	// positive multiple of the runner's step.
+	Register(a Actor) error
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	Duration     time.Duration // run time on the backend clock
+	EnergyJ      float64
+	AvgPowerW    float64
+	PeakPowerW   float64
+	GIPS         float64 // PMU-derived system GIPS over the run
+	Instructions float64
+	FGCompleted  bool    // foreground batch work finished
+	DroppedInstr float64 // paced work dropped by the foreground app
+	FreqChanges  int
+	BWChanges    int
+}

@@ -1,0 +1,143 @@
+package replay_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"aspeo/internal/platform"
+	"aspeo/internal/platform/platformtest"
+	"aspeo/internal/platform/replay"
+	"aspeo/internal/trace"
+)
+
+// syntheticTrace builds a full-rate recording of a busy machine: steady
+// instruction retirement, steady power, periodic input events.
+func syntheticTrace(n int) []trace.Point {
+	pts := make([]trace.Point, n)
+	var instr, busy, core, traffic float64
+	for i := range pts {
+		instr += 1.2e6 // ~1.2 GIPS at a 1 ms step
+		busy += 0.8e-3
+		core += 2.5e-3
+		traffic += 1.5e6
+		pts[i] = trace.Point{
+			T: time.Duration(i) * time.Millisecond, FreqIdx: 3, BWIdx: 2,
+			PowerW: 1.8, GIPS: 1.2, CPUPowerW: 0.9,
+			CumInstr: instr, CumBusySec: busy, CumCoreSec: core,
+			CumTrafficBytes: traffic,
+		}
+		if i%250 == 0 {
+			pts[i].Touches = 1
+		}
+	}
+	return pts
+}
+
+// The replay backend must pass the same conformance suite as the
+// simulator.
+func TestReplayConformance(t *testing.T) {
+	platformtest.Run(t, "replay", func(t *testing.T) platformtest.Fixture {
+		eng, err := replay.NewEngine(syntheticTrace(3000), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return platformtest.Fixture{
+			Device: eng.Device(),
+			Step:   func() { eng.Run(eng.Step(), false) },
+		}
+	})
+}
+
+// NewEngine rejects traces that cannot drive a faithful replay.
+func TestTraceValidation(t *testing.T) {
+	good := syntheticTrace(10)
+
+	cases := []struct {
+		name    string
+		mutate  func([]trace.Point) []trace.Point
+		wantErr string
+	}{
+		{"too short", func(p []trace.Point) []trace.Point { return p[:1] }, "at least 2"},
+		{"nonzero start", func(p []trace.Point) []trace.Point { return p[3:] }, "starts at"},
+		{"non-uniform", func(p []trace.Point) []trace.Point {
+			return []trace.Point{p[0], p[1], p[3], p[4]}
+		}, "not full-rate"},
+		{"no counters", func(p []trace.Point) []trace.Point {
+			out := make([]trace.Point, len(p))
+			copy(out, p)
+			for i := range out {
+				out[i].CumInstr = 0
+			}
+			return out
+		}, "no cumulative counters"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			in := make([]trace.Point, len(good))
+			copy(in, good)
+			_, err := replay.NewEngine(c.mutate(in), nil)
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, c.wantErr)
+			}
+		})
+	}
+
+	if _, err := replay.NewEngine(good, nil); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+}
+
+// countingActor records its tick times.
+type countingActor struct {
+	period time.Duration
+	ticks  []time.Duration
+}
+
+func (c *countingActor) Name() string          { return "counter" }
+func (c *countingActor) Period() time.Duration { return c.period }
+func (c *countingActor) Tick(now time.Duration, _ platform.Device) {
+	c.ticks = append(c.ticks, now)
+}
+
+// The engine schedules actors at their period boundaries, like the
+// simulator, and Run's stats integrate the recorded power.
+func TestEngineScheduling(t *testing.T) {
+	eng, err := replay.NewEngine(syntheticTrace(1000), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := &countingActor{period: 10 * time.Millisecond}
+	if err := eng.Register(act); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Register(&countingActor{period: 2500 * time.Microsecond}); err == nil {
+		t.Fatal("period not a multiple of the step was accepted")
+	}
+
+	st := eng.Run(100*time.Millisecond, false)
+	if len(act.ticks) != 10 {
+		t.Fatalf("actor ticked %d times over 100 ms at a 10 ms period, want 10", len(act.ticks))
+	}
+	for i, at := range act.ticks {
+		if want := time.Duration(i) * 10 * time.Millisecond; at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+	if st.Duration != 100*time.Millisecond {
+		t.Fatalf("Duration = %v, want 100ms", st.Duration)
+	}
+	wantE := 1.8 * 0.1 // constant 1.8 W over 0.1 s
+	if diff := st.EnergyJ - wantE; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("EnergyJ = %v, want %v", st.EnergyJ, wantE)
+	}
+	if st.GIPS < 1.19 || st.GIPS > 1.21 {
+		t.Fatalf("GIPS = %v, want ~1.2", st.GIPS)
+	}
+
+	// Running past the end of the trace stops at the end.
+	st = eng.Run(10*time.Second, false)
+	if got := st.Duration; got != 900*time.Millisecond {
+		t.Fatalf("post-exhaustion Duration = %v, want 900ms", got)
+	}
+}

@@ -77,6 +77,19 @@ func (p *PMU) Snapshot() Snapshot {
 	return Snapshot{values: p.counts}
 }
 
+// SnapshotAt reconstructs a snapshot from recorded absolute counter
+// values. Replay backends use it to hand readers the exact counter
+// state a recorded run observed: deltas between two reconstructed
+// snapshots are plain subtractions of the recorded values, so a
+// recorded measurement chain reproduces bit-for-bit.
+func SnapshotAt(instructions, cycles, busAccessBytes float64) Snapshot {
+	var s Snapshot
+	s.values[Instructions] = instructions
+	s.values[Cycles] = cycles
+	s.values[BusAccessBytes] = busAccessBytes
+	return s
+}
+
 // Delta returns the counter movement between two snapshots (cur - prev).
 func (cur Snapshot) Delta(prev Snapshot, c Counter) float64 {
 	if c < 0 || c >= numCounters {

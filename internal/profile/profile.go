@@ -23,6 +23,7 @@ import (
 	"aspeo/internal/governor"
 	"aspeo/internal/par"
 	"aspeo/internal/perftool"
+	"aspeo/internal/platform"
 	"aspeo/internal/sim"
 	"aspeo/internal/soc"
 	"aspeo/internal/stats"
@@ -209,7 +210,7 @@ func measureOne(spec *workload.Spec, opt Options, freqIdx, bwIdx int, seed int64
 	eng := sim.NewEngine(ph)
 	if bwIdx == GovernedBW {
 		// Pin the CPU, leave the bus to the stock governor.
-		if err := ph.FS().Write(sysfs.DevFreqGovernor, sim.GovCPUBWHwmon); err != nil {
+		if err := ph.WriteFile(sysfs.DevFreqGovernor, platform.GovCPUBWHwmon); err != nil {
 			return 0, 0, err
 		}
 		eng.MustRegister(governor.NewDevFreq())
@@ -263,9 +264,10 @@ func measureAll(spec *workload.Spec, opt Options, pts []measurePoint) ([]measure
 // cpuPin pins only the CPU frequency.
 type cpuPin struct{ idx int }
 
-func (c *cpuPin) Name() string                        { return "cpu-pin" }
-func (c *cpuPin) Period() time.Duration               { return 100 * time.Millisecond }
-func (c *cpuPin) Tick(_ time.Duration, ph *sim.Phone) { ph.SetFreqIdx(c.idx) }
+func (c *cpuPin) Name() string          { return "cpu-pin" }
+func (c *cpuPin) Period() time.Duration { return 100 * time.Millisecond }
+
+func (c *cpuPin) Tick(_ time.Duration, dev platform.Device) { dev.SetFreqIdx(c.idx) }
 
 // Run profiles the application per the paper's protocol and returns the
 // completed table.

@@ -17,9 +17,9 @@ func sampleFaultResult() *experiment.FaultCampaignResult {
 		},
 		Rows: []experiment.FaultRow{{
 			App: workload.NameSpotify, Scenario: "combined", TargetGIPS: 0.1046,
-			Stock:      experiment.RunResult{GIPS: 0.1040, EnergyJ: 210},
-			Unhardened: experiment.RunResult{GIPS: 0.0812, EnergyJ: 150},
-			Hardened:   experiment.RunResult{GIPS: 0.1043, EnergyJ: 190},
+			Stock:         experiment.RunResult{GIPS: 0.1040, EnergyJ: 210},
+			Unhardened:    experiment.RunResult{GIPS: 0.0812, EnergyJ: 150},
+			Hardened:      experiment.RunResult{GIPS: 0.1043, EnergyJ: 190},
 			StockSlackPct: -0.6, UnhardenedSlackPct: -22.4, HardenedSlackPct: -0.3,
 			HardenedVsStockEnergyPct: 9.5,
 			Health: core.Health{

@@ -1,0 +1,28 @@
+package sim_test
+
+import (
+	"testing"
+
+	"aspeo/internal/platform/platformtest"
+	"aspeo/internal/sim"
+	"aspeo/internal/workload"
+)
+
+// The simulated phone must pass the platform conformance suite — the
+// same one the replay backend (and any future real-device backend)
+// passes.
+func TestPhoneConformance(t *testing.T) {
+	platformtest.Run(t, "sim", func(t *testing.T) platformtest.Fixture {
+		ph, err := sim.NewPhone(sim.Config{
+			Foreground: workload.Spotify(), Load: workload.BaselineLoad,
+			Seed: 7, ScreenOn: true, WiFiOn: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return platformtest.Fixture{
+			Device: ph,
+			Step:   func() { ph.Step(sim.DefaultStep) },
+		}
+	})
+}

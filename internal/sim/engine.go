@@ -4,21 +4,14 @@ import (
 	"fmt"
 	"time"
 
+	"aspeo/internal/platform"
 	"aspeo/internal/pmu"
 )
 
-// Actor is a periodically scheduled software component: a governor, the
-// perf tool, or the energy controller. Tick runs at the actor's period
-// boundaries, before the device advances.
-type Actor interface {
-	// Name identifies the actor in logs and errors.
-	Name() string
-	// Period is the scheduling interval; it must be a positive multiple
-	// of the engine step.
-	Period() time.Duration
-	// Tick lets the actor observe and actuate the phone.
-	Tick(now time.Duration, ph *Phone)
-}
+// Actor is the platform actor contract: a periodically scheduled
+// software component (governor, perf tool, controller) ticked at its
+// period boundaries, before the device advances.
+type Actor = platform.Actor
 
 // DefaultStep is the engine's integration step: 1 ms, finer than every
 // software period in the system (the fastest is the interactive
@@ -50,8 +43,13 @@ func NewEngine(ph *Phone) *Engine {
 	return &Engine{phone: ph, step: DefaultStep}
 }
 
-// Phone returns the device under simulation.
+// Phone returns the concrete device under simulation — for harnesses
+// extracting simulator-only state (histograms, trace recorder).
+// Platform consumers use Device instead.
 func (e *Engine) Phone() *Phone { return e.phone }
+
+// Device implements platform.Runner.
+func (e *Engine) Device() platform.Device { return e.phone }
 
 // Register adds an actor. It returns an error if the actor's period is
 // not a positive multiple of the engine step.
@@ -73,19 +71,9 @@ func (e *Engine) MustRegister(a Actor) {
 	}
 }
 
-// Stats summarizes a run.
-type Stats struct {
-	Duration     time.Duration // simulated run time
-	EnergyJ      float64
-	AvgPowerW    float64
-	PeakPowerW   float64
-	GIPS         float64 // PMU-derived system GIPS over the run
-	Instructions float64
-	FGCompleted  bool    // foreground batch work finished
-	DroppedInstr float64 // paced work dropped by the foreground app
-	FreqChanges  int
-	BWChanges    int
-}
+// Stats summarizes a run; the definition lives in platform so every
+// backend reports the same shape.
+type Stats = platform.Stats
 
 // Run advances the simulation until `until` elapses (relative to the
 // current clock) or, if stopWhenFGDone, until the foreground task
@@ -151,7 +139,9 @@ func (f *FixedConfigActor) Name() string { return "fixed-config" }
 func (f *FixedConfigActor) Period() time.Duration { return 100 * time.Millisecond }
 
 // Tick pins the configuration.
-func (f *FixedConfigActor) Tick(_ time.Duration, ph *Phone) {
-	ph.SetFreqIdx(f.FreqIdx)
-	ph.SetBWIdx(f.BWIdx)
+func (f *FixedConfigActor) Tick(_ time.Duration, dev platform.Device) {
+	dev.SetFreqIdx(f.FreqIdx)
+	dev.SetBWIdx(f.BWIdx)
 }
+
+var _ platform.Runner = (*Engine)(nil)

@@ -14,6 +14,7 @@ import (
 	"aspeo/internal/histogram"
 	"aspeo/internal/monsoon"
 	"aspeo/internal/perfmodel"
+	"aspeo/internal/platform"
 	"aspeo/internal/pmu"
 	"aspeo/internal/power"
 	"aspeo/internal/soc"
@@ -22,15 +23,17 @@ import (
 	"aspeo/internal/workload"
 )
 
-// Governor names understood by the cpufreq/devfreq trees.
+// Governor names understood by the cpufreq/devfreq trees. The canonical
+// definitions live in platform (they are part of the backend contract);
+// these aliases keep sim's historical spelling working.
 const (
-	GovInteractive  = "interactive"
-	GovOndemand     = "ondemand"
-	GovUserspace    = "userspace"
-	GovPerformance  = "performance"
-	GovPowersave    = "powersave"
-	GovCPUBWHwmon   = "cpubw_hwmon"
-	GovConservative = "conservative"
+	GovInteractive  = platform.GovInteractive
+	GovOndemand     = platform.GovOndemand
+	GovUserspace    = platform.GovUserspace
+	GovPerformance  = platform.GovPerformance
+	GovPowersave    = platform.GovPowersave
+	GovCPUBWHwmon   = platform.GovCPUBWHwmon
+	GovConservative = platform.GovConservative
 )
 
 // Config bundles phone construction options.
@@ -390,6 +393,8 @@ func (p *Phone) Step(dt time.Duration) {
 	tasks = append(tasks, p.fg)
 	tasks = append(tasks, p.bg...)
 
+	touchesBefore := p.pendingTouches
+
 	for _, task := range tasks {
 		if task.Done() {
 			continue
@@ -466,9 +471,18 @@ func (p *Phone) Step(dt time.Duration) {
 	p.bwHist.Add(p.bwIdx, dt)
 	p.mon.Observe(p.lastPowerW, dt)
 	if p.rec != nil {
+		// T is the step's start time; the cumulative counters are their
+		// values AFTER the step — i.e. the PMU/telemetry state an actor
+		// observes at time T+dt. Replay backends rely on this offset.
 		p.rec.Observe(trace.Point{
 			T: p.now, FreqIdx: p.freqIdx, BWIdx: p.bwIdx,
 			PowerW: p.lastPowerW, GIPS: p.lastStepIPS / 1e9,
+			CPUPowerW:       p.lastCPUPowerW,
+			CumInstr:        p.pmu.Read(pmu.Instructions),
+			CumBusySec:      p.cumMachineBusySec,
+			CumCoreSec:      p.cumBusyCoreSec,
+			CumTrafficBytes: p.cumTrafficBytes,
+			Touches:         p.pendingTouches - touchesBefore,
 		})
 	}
 	p.now += dt

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"aspeo/internal/platform"
 	"aspeo/internal/power"
 	"aspeo/internal/soc"
 	"aspeo/internal/sysfs"
@@ -269,7 +270,7 @@ func TestEngineActorScheduling(t *testing.T) {
 	eng := NewEngine(ph)
 	count := 0
 	a := &funcActor{name: "counter", period: 100 * time.Millisecond,
-		fn: func(time.Duration, *Phone) { count++ }}
+		fn: func(time.Duration, platform.Device) { count++ }}
 	eng.MustRegister(a)
 	eng.Run(time.Second, false)
 	if count != 10 {
@@ -373,13 +374,13 @@ func TestTraceRecorderWiring(t *testing.T) {
 type funcActor struct {
 	name   string
 	period time.Duration
-	fn     func(time.Duration, *Phone)
+	fn     func(time.Duration, platform.Device)
 }
 
 func (f *funcActor) Name() string          { return f.name }
 func (f *funcActor) Period() time.Duration { return f.period }
-func (f *funcActor) Tick(now time.Duration, ph *Phone) {
+func (f *funcActor) Tick(now time.Duration, dev platform.Device) {
 	if f.fn != nil {
-		f.fn(now, ph)
+		f.fn(now, dev)
 	}
 }

@@ -17,7 +17,7 @@ import (
 	"math"
 	"time"
 
-	"aspeo/internal/sim"
+	"aspeo/internal/platform"
 )
 
 // Params describe the thermal circuit and the mitigation policy.
@@ -60,7 +60,7 @@ func (p Params) Validate() error {
 }
 
 // Monitor integrates the junction temperature and applies mitigation. It
-// implements sim.Actor.
+// implements platform.Actor.
 type Monitor struct {
 	p Params
 
@@ -89,10 +89,10 @@ func MustNew(p Params) *Monitor {
 	return m
 }
 
-// Name implements sim.Actor.
+// Name implements platform.Actor.
 func (m *Monitor) Name() string { return "msm_thermal" }
 
-// Period implements sim.Actor.
+// Period implements platform.Actor.
 func (m *Monitor) Period() time.Duration { return m.p.StepPeriod }
 
 // TempC returns the current junction temperature.
@@ -107,9 +107,9 @@ func (m *Monitor) CapIdx() int { return m.capIdx }
 // ThrottledFor returns cumulative time spent with mitigation active.
 func (m *Monitor) ThrottledFor() time.Duration { return m.throttled }
 
-// Tick implements sim.Actor: integrate the RC model over the elapsed
-// interval and step the mitigation.
-func (m *Monitor) Tick(now time.Duration, ph *sim.Phone) {
+// Tick implements platform.Actor: integrate the RC model over the
+// elapsed interval and step the mitigation.
+func (m *Monitor) Tick(now time.Duration, dev platform.Device) {
 	if m.first {
 		m.first = false
 		m.lastTick = now
@@ -121,7 +121,7 @@ func (m *Monitor) Tick(now time.Duration, ph *sim.Phone) {
 		return
 	}
 	// Exact solution of the first-order ODE over dt at constant power.
-	steady := m.p.AmbientC + ph.LastCPUPowerW()*m.p.RthCPerW
+	steady := m.p.AmbientC + dev.LastCPUPowerW()*m.p.RthCPerW
 	alpha := 1 - math.Exp(-dt/m.p.TauSec)
 	m.tempC += (steady - m.tempC) * alpha
 	if m.tempC > m.peakC {
@@ -131,7 +131,7 @@ func (m *Monitor) Tick(now time.Duration, ph *sim.Phone) {
 	switch {
 	case m.tempC >= m.p.TripC:
 		// Step the cap down from the current operating point.
-		cur := ph.CurFreqIdx()
+		cur := dev.CurFreqIdx()
 		next := cur - m.p.StepsPerHit
 		if m.capIdx >= 0 && m.capIdx-m.p.StepsPerHit < next {
 			next = m.capIdx - m.p.StepsPerHit
@@ -140,14 +140,14 @@ func (m *Monitor) Tick(now time.Duration, ph *sim.Phone) {
 			next = 0
 		}
 		m.capIdx = next
-		ph.SetThermalCapIdx(m.capIdx)
+		dev.SetThermalCapIdx(m.capIdx)
 	case m.tempC <= m.p.ReleaseC && m.capIdx >= 0:
 		// Release one step at a time; fully uncap at the top.
 		m.capIdx += m.p.StepsPerHit
-		if m.capIdx >= len(ph.SoC().CPUFreqs)-1 {
+		if m.capIdx >= len(dev.SoC().CPUFreqs)-1 {
 			m.capIdx = -1
 		}
-		ph.SetThermalCapIdx(m.capIdx)
+		dev.SetThermalCapIdx(m.capIdx)
 	}
 	if m.capIdx >= 0 {
 		m.throttled += time.Duration(dt * float64(time.Second))

@@ -6,6 +6,7 @@ package trace
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -14,11 +15,25 @@ import (
 
 // Point is one sample of the run state.
 type Point struct {
-	T       time.Duration // simulation time
-	FreqIdx int           // CPU frequency ladder index (0-based)
-	BWIdx   int           // memory bandwidth ladder index (0-based)
-	PowerW  float64       // instantaneous device power
-	GIPS    float64       // instantaneous performance
+	T       time.Duration `json:"t"`        // time the step began
+	FreqIdx int           `json:"freq_idx"` // CPU frequency ladder index (0-based)
+	BWIdx   int           `json:"bw_idx"`   // memory bandwidth ladder index (0-based)
+	PowerW  float64       `json:"power_w"`  // instantaneous device power
+	GIPS    float64       `json:"gips"`     // instantaneous performance
+
+	// Replay fields: the per-step CPU power and input events, plus the
+	// cumulative counters as of the END of the step that began at T —
+	// exactly the PMU/telemetry state software observes at T+step. A
+	// full-rate trace (one point per engine step) carrying them is a
+	// complete measurement record: platform/replay reconstructs the
+	// whole observation surface from it, bit-for-bit. Zero in traces
+	// recorded before these fields existed.
+	CPUPowerW       float64 `json:"cpu_power_w,omitempty"`
+	CumInstr        float64 `json:"cum_instr,omitempty"`
+	CumBusySec      float64 `json:"cum_busy_sec,omitempty"` // machine-busy seconds
+	CumCoreSec      float64 `json:"cum_core_sec,omitempty"` // OS-visible busy core-seconds
+	CumTrafficBytes float64 `json:"cum_traffic,omitempty"`  // DRAM bytes
+	Touches         int     `json:"touches,omitempty"`      // input events during the step
 }
 
 // Recorder accumulates points at a fixed decimation interval.
@@ -71,4 +86,25 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// WriteJSON emits the full series — every Point field — as one JSON
+// array. Unlike the (deliberately stable) CSV columns, the JSON format
+// carries the replay fields, so a full-rate recording written this way
+// can drive platform/replay.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(r.points); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON loads a series written by WriteJSON.
+func ReadJSON(rd io.Reader) ([]Point, error) {
+	var pts []Point
+	if err := json.NewDecoder(rd).Decode(&pts); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return pts, nil
 }
