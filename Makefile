@@ -1,14 +1,15 @@
 # CI entry points. `make ci` is what .github/workflows/ci.yml runs:
 # vet, build, the full test suite under the race detector, a
 # single-iteration pass over the optimizer benchmarks to keep them
-# compiling and honest, the fault-campaign and record/replay smoke
-# tests, and — when the tools are on PATH — staticcheck and govulncheck.
+# compiling and honest, the fault-campaign, record/replay and fleet
+# control-plane smoke tests, and — when the tools are on PATH —
+# staticcheck and govulncheck.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-campaign smoke-faults smoke-replay lint vuln fuzz
+.PHONY: ci vet build test race bench bench-campaign smoke-faults smoke-replay smoke-fleet lint vuln fuzz
 
-ci: vet build race bench smoke-faults smoke-replay lint vuln
+ci: vet build race bench smoke-faults smoke-replay smoke-fleet lint vuln
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +37,12 @@ smoke-faults:
 # sequence to match cycle for cycle.
 smoke-replay:
 	$(GO) test -count=1 -run=TestReplayGolden ./internal/platform/replay/
+
+# The fleet control plane end to end, under the race detector: start
+# the HTTP server, submit 8 sessions over the API, stream one, assert
+# the rollup and /metrics, drain, and verify intake is closed.
+smoke-fleet:
+	$(GO) test -count=1 -race -run=TestFleetSmokeHTTP ./internal/fleet/
 
 # staticcheck and govulncheck run when installed (CI installs them);
 # locally they no-op with a note rather than failing the build.

@@ -1,0 +1,84 @@
+// Command aspeo-fleet is the fleet control plane: a long-lived HTTP
+// server multiplexing many concurrent controller/governor sessions over
+// a bounded worker pool, with live per-session telemetry and
+// Prometheus-style fleet metrics.
+//
+// Usage:
+//
+//	aspeo-fleet -addr :8080 -workers 8
+//
+// Then drive it over HTTP:
+//
+//	curl -XPOST localhost:8080/api/v1/sessions \
+//	  -d '{"app":"spotify","load":"BL","seed":101,"count":8,"run_for_s":30}'
+//	curl localhost:8080/api/v1/sessions
+//	curl localhost:8080/api/v1/sessions/s-000001
+//	curl localhost:8080/api/v1/sessions/s-000001/stream
+//	curl -XPOST localhost:8080/api/v1/sessions/s-000001/stop
+//	curl localhost:8080/api/v1/rollup
+//	curl localhost:8080/metrics
+//
+// SIGTERM/SIGINT drains gracefully: intake closes, queued and running
+// sessions finish (bounded by -drain-timeout, after which they are
+// stopped cooperatively), then the server exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aspeo/internal/fleet"
+	"aspeo/internal/report"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "concurrent sessions (0 = one per CPU)")
+		queue        = flag.Int("queue", 0, "submission backlog capacity (0 = 1024)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits before stopping sessions cooperatively")
+	)
+	flag.Parse()
+
+	m := fleet.NewManager(fleet.Options{Workers: *workers, Queue: *queue})
+	srv := &http.Server{Addr: *addr, Handler: fleet.NewServer(m)}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer cancel()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "aspeo-fleet: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fatal("%v", err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "aspeo-fleet: draining...")
+	dctx, dcancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer dcancel()
+	if err := m.Drain(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "aspeo-fleet: drain timed out, sessions stopped cooperatively (%v)\n", err)
+	}
+	report.Fleet(os.Stderr, m.Rollup())
+
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal("shutdown: %v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aspeo-fleet: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,6 +1,9 @@
 // Command aspeo-run executes one application on the simulated phone,
 // either under a stock governor pair or under the energy controller, and
-// reports energy, performance and residency histograms.
+// reports energy, performance and residency histograms. It is the
+// single-session face of the same construction path the fleet runtime
+// uses (experiment.SessionSpec), so a run here and a 1-session fleet
+// submission are the same computation.
 //
 // Usage:
 //
@@ -9,25 +12,21 @@
 //	aspeo-run -app spotify -controller            # profiles + targets automatically
 //	aspeo-run -app spotify -controller -faults combined   # inject a fault scenario
 //	aspeo-run -app spotify -record run.json       # full-rate trace for platform/replay
+//	aspeo-run -app spotify -controller -json      # machine-readable summary on stdout
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
-	"aspeo/internal/core"
 	"aspeo/internal/experiment"
-	"aspeo/internal/fault"
 	"aspeo/internal/governor"
-	"aspeo/internal/perftool"
-	"aspeo/internal/platform"
-	"aspeo/internal/profile"
 	"aspeo/internal/report"
 	"aspeo/internal/sim"
-	"aspeo/internal/sysfs"
 	"aspeo/internal/workload"
 )
 
@@ -35,7 +34,7 @@ func main() {
 	var (
 		app        = flag.String("app", "", "application: "+strings.Join(workload.Names(), ", "))
 		load       = flag.String("load", "BL", "background load: NL, BL or HL")
-		gov        = flag.String("governor", "interactive", "cpufreq governor for the baseline run: interactive, ondemand, performance, powersave")
+		gov        = flag.String("governor", "interactive", "cpufreq governor for the baseline run: "+strings.Join(governor.CPUFreqPolicies(), ", "))
 		useCtl     = flag.Bool("controller", false, "run under the energy controller instead of a governor")
 		profPath   = flag.String("profile", "", "profile table JSON (from aspeo-profile); profiled on the fly when empty")
 		target     = flag.Float64("target", 0, "performance target in GIPS; measured from the default governors when 0")
@@ -45,18 +44,10 @@ func main() {
 		histograms = flag.Bool("hist", false, "print residency histograms")
 		traceCSV   = flag.String("trace", "", "write a time-series trace CSV to this path")
 		recordJSON = flag.String("record", "", "write a full-rate JSON trace (replayable via platform/replay) to this path")
-		faultName  = flag.String("faults", "", "inject a fault scenario: "+strings.Join(faultNames(), ", "))
+		faultName  = flag.String("faults", "", "inject a fault scenario: "+strings.Join(experiment.FaultScenarioNames(), ", "))
+		jsonOut    = flag.Bool("json", false, "emit the final run summary as JSON on stdout (shared schema with the fleet API)")
 	)
 	flag.Parse()
-
-	spec, err := workload.ByName(*app)
-	if err != nil {
-		fatal("%v", err)
-	}
-	bg, err := workload.ParseBGLoad(*load)
-	if err != nil {
-		fatal("%v", err)
-	}
 
 	var traceEvery time.Duration
 	if *traceCSV != "" {
@@ -68,102 +59,53 @@ func main() {
 		traceEvery = sim.DefaultStep
 	}
 
-	// The injector registers first so its clock leads the actors it
-	// torments; it decorates the controller's (or perf's) I/O surfaces.
-	var inj *fault.Injector
-	if *faultName != "" {
-		sc, err := faultScenario(*faultName)
-		if err != nil {
-			fatal("%v", err)
-		}
-		inj, err = fault.NewInjector(sc.Plan, *seed)
-		if err != nil {
-			fatal("%v", err)
-		}
-		fmt.Printf("fault scenario %s: %s\n", sc.Name, sc.Desc)
+	spec := experiment.SessionSpec{
+		App: *app, Load: *load, Governor: *gov,
+		Controller: *useCtl, CPUOnly: *cpuOnly,
+		Profile: *profPath, TargetGIPS: *target, Quick: *quick,
+		Seed: *seed, Faults: *faultName, TraceEvery: traceEvery,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	// Validate up front so a typo'd flag is a usage error, not a silent
+	// fall-through to defaults (an unknown governor used to leave the
+	// device parked at its boot frequency with no policy at all).
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "aspeo-run: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
 	}
 
-	var ctl *core.Controller
-	install := func(r platform.Runner) error {
-		if inj != nil {
-			if err := r.Register(inj); err != nil {
-				return err
-			}
-		}
-		if *useCtl {
-			tab, tgt, err := tableAndTarget(spec, bg, *profPath, *target, *quick, *cpuOnly)
-			if err != nil {
-				return err
-			}
-			opts := core.DefaultOptions(tab, tgt)
-			opts.Seed = *seed
-			opts.CPUOnly = *cpuOnly
-			ctl, err = core.New(opts)
-			if err != nil {
-				return err
-			}
-			if *cpuOnly {
-				if err := r.Register(governor.NewDevFreq()); err != nil {
-					return err
-				}
-			}
-			ctlRunner := r
-			if inj != nil {
-				ctlRunner = fault.WrapRunner(r, inj)
-			}
-			if err := ctl.Install(ctlRunner); err != nil {
-				return err
-			}
-			if inj != nil {
-				// Stock governors stand by to take over after a hijack
-				// or a relinquish; they idle while the governor files
-				// read "userspace".
-				if err := governor.Defaults(r); err != nil {
-					return err
-				}
-				fault.WrapPerf(ctl.Perf(), inj)
-			}
-			fmt.Printf("controller: target %.4f GIPS, table %d entries (base %.4f GIPS)\n",
-				tgt, tab.Len(), tab.BaseGIPS)
-			return nil
-		}
-		if err := r.Device().WriteFile(sysfs.CPUScalingGovernor, *gov); err != nil {
-			return fmt.Errorf("setting governor: %w", err)
-		}
-		if err := governor.Defaults(r); err != nil {
-			return err
-		}
-		p := perftool.MustNew(time.Second, *seed)
-		if err := r.Register(p); err != nil {
-			return err
-		}
-		if inj != nil {
-			fault.WrapPerf(p, inj)
-		}
-		return nil
-	}
-
-	h, err := experiment.NewHarness(experiment.HarnessConfig{
-		Foreground: spec, Load: bg, Seed: *seed,
-		TraceEvery: traceEvery, Install: install,
-	})
+	sess, err := experiment.NewSession(spec)
 	if err != nil {
 		fatal("%v", err)
 	}
-	st := h.RunSession()
-	ph := h.Phone
+	st := sess.Run(nil)
+	summary := report.NewRunSummary(sess, st)
+	ph := sess.Harness.Phone
 
-	fmt.Printf("app=%s load=%s runtime=%.1fs energy=%.1fJ avg-power=%.3fW peak=%.3fW gips=%.4f freq-changes=%d bw-changes=%d\n",
-		spec.Name, bg, st.Duration.Seconds(), st.EnergyJ, st.AvgPowerW, st.PeakPowerW,
-		st.GIPS, st.FreqChanges, st.BWChanges)
-	if st.DroppedInstr > 0 {
-		fmt.Printf("dropped foreground work: %.3g instructions\n", st.DroppedInstr)
-	}
-	if inj != nil {
-		if ctl != nil {
-			printHealth(ctl, inj)
-		} else {
-			fmt.Printf("injected faults: %+v\n", inj.Counts())
+	if *jsonOut {
+		if err := summary.WriteJSON(os.Stdout); err != nil {
+			fatal("writing summary: %v", err)
+		}
+	} else {
+		fmt.Printf("app=%s load=%s runtime=%.1fs energy=%.1fJ avg-power=%.3fW peak=%.3fW gips=%.4f freq-changes=%d bw-changes=%d\n",
+			summary.App, summary.Load, summary.DurationS, summary.EnergyJ, summary.AvgPowerW,
+			summary.PeakPowerW, summary.GIPS, summary.FreqChanges, summary.BWChanges)
+		if st.DroppedInstr > 0 {
+			fmt.Printf("dropped foreground work: %.3g instructions\n", st.DroppedInstr)
+		}
+		if sess.Injector != nil {
+			fmt.Printf("injected faults: %+v\n", sess.Injector.Counts())
+			if c := summary.Controller; c != nil {
+				h := c.Health
+				fmt.Printf("controller health: actuation failures=%d (retries %d), reinstalls=%d, max-freq restores=%d\n",
+					h.ActuationFailures, h.ActuationRetries, h.GovernorReinstalls, h.MaxFreqRestores)
+				fmt.Printf("  samples gated=%d (non-finite %d, stuck %d, outlier %d), watchdog trips=%d, degraded cycles=%d, relinquished=%v\n",
+					h.RejectedSamples, h.NonFiniteSamples, h.StuckSamples, h.OutlierSamples,
+					h.WatchdogTrips, h.DegradedCycles, h.Relinquished)
+			}
 		}
 	}
 	if *histograms {
@@ -173,104 +115,25 @@ func main() {
 		report.Histogram(os.Stdout, "Memory bandwidth residency", ph.BWHistogram().Percents(), 40)
 	}
 	if *traceCSV != "" {
-		f, err := os.Create(*traceCSV)
-		if err != nil {
-			fatal("%v", err)
-		}
-		if err := ph.Recorder().WriteCSV(f); err != nil {
-			fatal("writing trace: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			fatal("writing trace: %v", err)
-		}
+		writeFile(*traceCSV, ph.Recorder().WriteCSV)
 	}
 	if *recordJSON != "" {
-		f, err := os.Create(*recordJSON)
-		if err != nil {
-			fatal("%v", err)
-		}
-		if err := ph.Recorder().WriteJSON(f); err != nil {
-			fatal("writing recording: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			fatal("writing recording: %v", err)
-		}
+		writeFile(*recordJSON, ph.Recorder().WriteJSON)
 	}
 }
 
-// tableAndTarget resolves the controller inputs: a stored table or a
-// fresh profiling pass, and the default-measured target when none given.
-func tableAndTarget(spec *workload.Spec, bg workload.BGLoad, path string,
-	target float64, quick, cpuOnly bool) (*profile.Table, float64, error) {
-
-	exp := experiment.Default()
-	if quick {
-		exp = experiment.Quick()
+// writeFile streams one recorder export to path.
+func writeFile(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("%v", err)
 	}
-	var tab *profile.Table
-	if path != "" {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, 0, err
-		}
-		defer f.Close()
-		tab, err = profile.ReadJSON(f)
-		if err != nil {
-			return nil, 0, err
-		}
-	} else {
-		var err error
-		fmt.Fprintln(os.Stderr, "profiling (pass -profile to reuse a stored table)...")
-		mode := profile.Coordinated
-		if cpuOnly {
-			mode = profile.Governed
-		}
-		tab, err = exp.Profile(spec, bg, mode)
-		if err != nil {
-			return nil, 0, err
-		}
+	if err := write(f); err != nil {
+		fatal("writing %s: %v", path, err)
 	}
-	if target == 0 {
-		fmt.Fprintln(os.Stderr, "measuring default-governor performance for the target...")
-		def, err := exp.MeasureDefault(spec, bg)
-		if err != nil {
-			return nil, 0, err
-		}
-		target = def.GIPS
+	if err := f.Close(); err != nil {
+		fatal("writing %s: %v", path, err)
 	}
-	return tab, target, nil
-}
-
-// faultNames lists the selectable scenario names.
-func faultNames() []string {
-	var names []string
-	for _, sc := range experiment.FaultScenarios() {
-		names = append(names, sc.Name)
-	}
-	return names
-}
-
-// faultScenario resolves a scenario by name.
-func faultScenario(name string) (experiment.FaultScenario, error) {
-	for _, sc := range experiment.FaultScenarios() {
-		if sc.Name == name {
-			return sc, nil
-		}
-	}
-	return experiment.FaultScenario{}, fmt.Errorf("unknown fault scenario %q (have: %s)",
-		name, strings.Join(faultNames(), ", "))
-}
-
-// printHealth reports the controller's ledger against the injector's
-// delivered counts after a faulted run.
-func printHealth(ctl *core.Controller, inj *fault.Injector) {
-	h := ctl.Health()
-	fmt.Printf("injected faults: %+v\n", inj.Counts())
-	fmt.Printf("controller health: actuation failures=%d (retries %d), reinstalls=%d, max-freq restores=%d\n",
-		h.ActuationFailures, h.ActuationRetries, h.GovernorReinstalls, h.MaxFreqRestores)
-	fmt.Printf("  samples gated=%d (non-finite %d, stuck %d, outlier %d), watchdog trips=%d, degraded cycles=%d, relinquished=%v\n",
-		h.RejectedSamples, h.NonFiniteSamples, h.StuckSamples, h.OutlierSamples,
-		h.WatchdogTrips, h.DegradedCycles, h.Relinquished)
 }
 
 func fatal(format string, args ...any) {

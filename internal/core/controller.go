@@ -66,6 +66,13 @@ type Options struct {
 	// decision, retrievable via AllocationLog. Used by the replay golden
 	// tests to compare two runs decision-for-decision.
 	LogAllocations bool
+	// OnCycle, when non-nil, receives a CycleSnapshot at the end of
+	// every control cycle (degraded and relinquishing cycles included).
+	// Observation only: the callback must not touch the controller or
+	// the device — the fleet runtime uses it to fold live sessions into
+	// rollups. It runs on the cell's goroutine; the subscriber is
+	// responsible for its own synchronization.
+	OnCycle func(CycleSnapshot)
 }
 
 // DefaultOptions returns the paper's operating parameters for the given
@@ -309,11 +316,20 @@ func (c *Controller) Tick(now time.Duration, dev platform.Device) {
 	c.slotIdx = (c.slotIdx + 1) % len(c.slots)
 }
 
-// runCycle executes Eqns. (2)–(7) for one control cycle, wrapped in the
+// runCycle executes one control cycle and publishes its telemetry —
+// whatever path the cycle took (closed-loop, degraded, relinquishing),
+// the health ledger lands on the device and the OnCycle subscriber sees
+// the cycle's snapshot.
+func (c *Controller) runCycle(dev platform.Device) {
+	c.cycleBody(dev)
+	c.publishCycle(dev)
+}
+
+// cycleBody executes Eqns. (2)–(7) for one control cycle, wrapped in the
 // resilience layer: the previous cycle's verdict (actuation failures,
 // governor ownership, measurement validity) feeds the watchdog before
 // the optimizer runs.
-func (c *Controller) runCycle(dev platform.Device) {
+func (c *Controller) cycleBody(dev platform.Device) {
 	c.cyclesRun++
 	failing := c.cycleFailed
 	c.cycleFailed = false

@@ -96,35 +96,11 @@ func (r Resilience) withDefaults() Resilience {
 
 // Health is the controller's self-diagnostics: what the fault ladder
 // observed and did. The report layer prints it and the resilience tests
-// match it against the injector's delivered-fault counts.
-type Health struct {
-	// ActuationFailures counts failed sysfs actuation writes, retries
-	// included.
-	ActuationFailures int
-	// ActuationRetries counts retry attempts spent on failed writes.
-	ActuationRetries int
-	// GovernorReinstalls counts hijacks detected and repaired by
-	// rewriting the governor file back to userspace.
-	GovernorReinstalls int
-	// MaxFreqRestores counts scaling_max_freq clamps undone.
-	MaxFreqRestores int
-	// RejectedSamples counts measurements the validation gate kept out
-	// of the Kalman update; the next three break it down by cause.
-	RejectedSamples  int
-	NonFiniteSamples int
-	StuckSamples     int
-	OutlierSamples   int
-	// DegradedCycles counts control cycles spent at the safe
-	// configuration.
-	DegradedCycles int
-	// WatchdogTrips counts degrade and relinquish transitions.
-	WatchdogTrips int
-	// ConsecutiveFailures is the watchdog's current failing-cycle run.
-	ConsecutiveFailures int
-	// Relinquished is set once control is handed back to the stock
-	// governors; the controller stops actuating for good.
-	Relinquished bool
-}
+// match it against the injector's delivered-fault counts. The definition
+// lives in platform (every backend records it through
+// Telemetry.RecordHealth); the alias keeps core's consumers reading
+// naturally.
+type Health = platform.Health
 
 // Health returns a snapshot of the controller's fault diagnostics.
 func (c *Controller) Health() Health { return c.health }

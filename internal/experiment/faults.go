@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"aspeo/internal/core"
@@ -69,6 +70,27 @@ func FaultScenarios() []FaultScenario {
 			},
 		},
 	}
+}
+
+// FaultScenarioNames lists the selectable scenario names, in campaign
+// order.
+func FaultScenarioNames() []string {
+	var names []string
+	for _, sc := range FaultScenarios() {
+		names = append(names, sc.Name)
+	}
+	return names
+}
+
+// FaultScenarioByName resolves a scenario by name.
+func FaultScenarioByName(name string) (FaultScenario, error) {
+	for _, sc := range FaultScenarios() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return FaultScenario{}, fmt.Errorf("unknown fault scenario %q (have: %s)",
+		name, strings.Join(FaultScenarioNames(), ", "))
 }
 
 // FaultRow is one (app, scenario) cell of the campaign.

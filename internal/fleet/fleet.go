@@ -1,0 +1,390 @@
+// Package fleet is the concurrent multi-device session runtime: a
+// Manager that owns N independent controller-or-governor sessions (each
+// one simulation cell from the existing stack — a platform.Device plus
+// its actor set, built through experiment.NewSession), schedules them
+// across a bounded worker pool (par.Pool), tracks their lifecycle, and
+// folds their telemetry into fleet-wide rollups.
+//
+// The paper's controller manages one phone; the fleet layer is the
+// persistent management plane above per-device controllers the ROADMAP's
+// north star calls for. Sessions keep the platform backend contract's
+// isolation — each is a single-threaded cell sharing nothing mutable —
+// so the only synchronized state is the manager's bookkeeping: the
+// sharded session store, the per-session status record, and the
+// aggregator's counters. Worker scheduling therefore affects wall-clock
+// time only, never a session's results: a 1-session fleet run is
+// cycle-for-cycle identical to the equivalent aspeo-run invocation (the
+// golden test holds this).
+//
+// Lifecycle: pending → running → completed | failed | stopped. A failing
+// session — harness construction error, run error, or a controller that
+// walked the PR 2 resilience ladder all the way to relinquish — restarts
+// up to its configured budget before landing in failed. Stop is
+// cooperative: the engine's interrupt hook ends the run at the next step
+// boundary and the partial summary is kept.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aspeo/internal/core"
+	"aspeo/internal/experiment"
+	"aspeo/internal/par"
+	"aspeo/internal/platform"
+	"aspeo/internal/report"
+)
+
+// State is a session's lifecycle state.
+type State string
+
+// Session lifecycle states.
+const (
+	StatePending   State = "pending"
+	StateRunning   State = "running"
+	StateCompleted State = "completed"
+	StateFailed    State = "failed"
+	StateStopped   State = "stopped"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateCompleted || s == StateFailed || s == StateStopped
+}
+
+// Config describes one fleet session — the JSON body of a submit
+// request. It mirrors experiment.SessionSpec plus fleet-only policy
+// (restart budget). Zero values select the aspeo-run defaults: load BL,
+// governor interactive, no restarts.
+type Config struct {
+	App        string  `json:"app"`
+	Load       string  `json:"load,omitempty"`
+	Governor   string  `json:"governor,omitempty"`
+	Controller bool    `json:"controller,omitempty"`
+	CPUOnly    bool    `json:"cpu_only,omitempty"`
+	Profile    string  `json:"profile,omitempty"`
+	TargetGIPS float64 `json:"target_gips,omitempty"`
+	Quick      bool    `json:"quick,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+	Faults     string  `json:"faults,omitempty"`
+	// RunForS caps the session at a fixed simulated duration (seconds);
+	// 0 runs the app's standard session.
+	RunForS float64 `json:"run_for_s,omitempty"`
+	// MaxRestarts bounds restart-on-failure: a session gets 1 +
+	// MaxRestarts attempts before it lands in failed.
+	MaxRestarts int `json:"max_restarts,omitempty"`
+	// LogAllocations keeps the controller's per-cycle decision log,
+	// retrievable via Manager.AllocationLog (golden tests).
+	LogAllocations bool `json:"log_allocations,omitempty"`
+	// Resilience overrides the controller's fault-handling ladder; nil
+	// selects the hardened defaults.
+	Resilience *core.Resilience `json:"resilience,omitempty"`
+}
+
+// normalized fills the aspeo-run defaults into zero fields.
+func (c Config) normalized() Config {
+	if c.Load == "" {
+		c.Load = "BL"
+	}
+	if !c.Controller && c.Governor == "" {
+		c.Governor = "interactive"
+	}
+	return c
+}
+
+// spec translates the config into the shared session spec, with the
+// seed of one particular attempt.
+func (c Config) spec(seed int64) experiment.SessionSpec {
+	s := experiment.SessionSpec{
+		App: c.App, Load: c.Load, Governor: c.Governor,
+		Controller: c.Controller, CPUOnly: c.CPUOnly,
+		Profile: c.Profile, TargetGIPS: c.TargetGIPS, Quick: c.Quick,
+		Seed: seed, Faults: c.Faults,
+		RunFor:         time.Duration(c.RunForS * float64(time.Second)),
+		LogAllocations: c.LogAllocations,
+	}
+	if c.Resilience != nil {
+		s.Resilience = *c.Resilience
+	}
+	return s
+}
+
+// Validate rejects configs aspeo-run would reject, plus fleet-specific
+// nonsense.
+func (c Config) Validate() error {
+	if err := c.normalized().spec(c.Seed).Validate(); err != nil {
+		return err
+	}
+	if c.MaxRestarts < 0 {
+		return fmt.Errorf("negative restart budget %d", c.MaxRestarts)
+	}
+	if c.RunForS < 0 {
+		return fmt.Errorf("negative run duration %vs", c.RunForS)
+	}
+	return nil
+}
+
+// Options configure a Manager.
+type Options struct {
+	// Workers is the worker-pool size (<= 0 means GOMAXPROCS).
+	Workers int
+	// Queue is the submission backlog capacity (<= 0 selects 1024).
+	Queue int
+}
+
+// numShards spreads the session store over independently locked maps so
+// status reads (HTTP handlers, rollups) never contend on one mutex with
+// tens of workers publishing cycle telemetry.
+const numShards = 16
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]*session
+}
+
+// Manager owns the fleet: the session store, the worker pool and the
+// telemetry aggregator. Safe for concurrent use.
+type Manager struct {
+	pool   *par.Pool
+	shards [numShards]shard
+
+	seq       atomic.Uint64 // session ordinal source
+	submitted atomic.Int64
+	restarts  atomic.Int64
+	draining  atomic.Bool
+
+	agg aggregator
+}
+
+// NewManager starts the worker pool and returns a ready manager.
+func NewManager(o Options) *Manager {
+	m := &Manager{pool: par.NewPool(o.Workers, o.Queue)}
+	for i := range m.shards {
+		m.shards[i].m = make(map[string]*session)
+	}
+	m.agg.start = time.Now()
+	return m
+}
+
+// Errors the control plane maps to HTTP statuses.
+var (
+	// ErrDraining rejects submissions once a drain has begun.
+	ErrDraining = fmt.Errorf("fleet: draining, not accepting sessions")
+	// ErrNotFound reports an unknown session id.
+	ErrNotFound = fmt.Errorf("fleet: no such session")
+)
+
+// Submit validates the config and queues one session. It returns the
+// accepted session's view (state pending) without waiting for a worker.
+func (m *Manager) Submit(cfg Config) (SessionView, error) {
+	if m.draining.Load() {
+		return SessionView{}, ErrDraining
+	}
+	cfg = cfg.normalized()
+	if err := cfg.Validate(); err != nil {
+		return SessionView{}, err
+	}
+	seq := m.seq.Add(1)
+	s := &session{
+		id:          fmt.Sprintf("s-%06d", seq),
+		seq:         seq,
+		cfg:         cfg,
+		state:       StatePending,
+		submittedAt: time.Now(),
+		done:        make(chan struct{}),
+	}
+	sh := m.shardOf(s.id)
+	sh.mu.Lock()
+	sh.m[s.id] = s
+	sh.mu.Unlock()
+
+	if err := m.pool.Submit(func() { m.runSession(s) }); err != nil {
+		sh.mu.Lock()
+		delete(sh.m, s.id)
+		sh.mu.Unlock()
+		return SessionView{}, err
+	}
+	m.submitted.Add(1)
+	return s.view(), nil
+}
+
+func (m *Manager) shardOf(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &m.shards[h.Sum32()%numShards]
+}
+
+func (m *Manager) lookup(id string) (*session, error) {
+	sh := m.shardOf(id)
+	sh.mu.RLock()
+	s := sh.m[id]
+	sh.mu.RUnlock()
+	if s == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return s, nil
+}
+
+// Get returns one session's status.
+func (m *Manager) Get(id string) (SessionView, error) {
+	s, err := m.lookup(id)
+	if err != nil {
+		return SessionView{}, err
+	}
+	return s.view(), nil
+}
+
+// List returns every session (state "" ) or those in one state, ordered
+// by submission.
+func (m *Manager) List(state State) []SessionView {
+	var views []SessionView
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.m {
+			v := s.view()
+			if state == "" || v.State == state {
+				views = append(views, v)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(views, func(i, j int) bool { return views[i].seq < views[j].seq })
+	return views
+}
+
+// Stop requests a session stop: a pending session is skipped when its
+// worker picks it up, a running one ends at the next engine step. The
+// call does not wait; watch the session or WaitSession for the terminal
+// state.
+func (m *Manager) Stop(id string) error {
+	s, err := m.lookup(id)
+	if err != nil {
+		return err
+	}
+	s.stop.Store(true)
+	return nil
+}
+
+// WaitSession blocks until the session reaches a terminal state or the
+// context ends, returning the final view.
+func (m *Manager) WaitSession(ctx context.Context, id string) (SessionView, error) {
+	s, err := m.lookup(id)
+	if err != nil {
+		return SessionView{}, err
+	}
+	select {
+	case <-s.done:
+		return s.view(), nil
+	case <-ctx.Done():
+		return s.view(), ctx.Err()
+	}
+}
+
+// AllocationLog returns a completed session's controller decision log
+// (Config.LogAllocations must have been set) — the golden tests'
+// cycle-for-cycle comparison record.
+func (m *Manager) AllocationLog(id string) ([]core.AllocationRecord, error) {
+	s, err := m.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.allocLog, nil
+}
+
+// Drain stops intake and waits for every queued and running session to
+// reach a terminal state. If the context ends first, remaining sessions
+// are stopped cooperatively and Drain still waits for them to land
+// (interrupts take effect within one engine step), then reports the
+// context error.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		m.pool.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		for _, v := range m.List("") {
+			if !v.State.Terminal() {
+				_ = m.Stop(v.ID)
+			}
+		}
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether intake is closed.
+func (m *Manager) Draining() bool { return m.draining.Load() }
+
+// Rollup folds the fleet into one aggregate: population by state, cycle
+// throughput, and the summed energy/performance/health figures.
+func (m *Manager) Rollup() report.FleetRollup {
+	r := report.FleetRollup{
+		Submitted: int(m.submitted.Load()),
+		Restarts:  int(m.restarts.Load()),
+	}
+	var gipsSum, errSum float64
+	var finished, ctlFinished int
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.m {
+			s.mu.Lock()
+			switch s.state {
+			case StatePending:
+				r.Pending++
+			case StateRunning:
+				r.Running++
+			case StateCompleted:
+				r.Completed++
+			case StateFailed:
+				r.Failed++
+			case StateStopped:
+				r.Stopped++
+			}
+			var h *platform.Health
+			if s.summary != nil && s.state.Terminal() {
+				finished++
+				r.SimSecondsTotal += s.summary.DurationS
+				r.EnergyJTotal += s.summary.EnergyJ
+				r.DroppedInstrTotal += s.summary.DroppedInstr
+				gipsSum += s.summary.GIPS
+				if cs := s.summary.Controller; cs != nil {
+					ctlFinished++
+					errSum += cs.MeanAbsErrGIPS
+					h = &cs.Health
+				}
+			} else if s.lastSnap != nil {
+				h = &s.lastSnap.Health
+			}
+			if h != nil {
+				r.Health.Add(*h)
+				if h.Relinquished {
+					r.Relinquished++
+				}
+			}
+			s.mu.Unlock()
+		}
+		sh.mu.RUnlock()
+	}
+	if finished > 0 {
+		r.MeanGIPS = gipsSum / float64(finished)
+	}
+	if ctlFinished > 0 {
+		r.MeanAbsErrGIPS = errSum / float64(ctlFinished)
+	}
+	r.CyclesTotal, r.CyclesPerSec = m.agg.rate()
+	return r
+}

@@ -1,0 +1,206 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"aspeo/internal/par"
+	"aspeo/internal/report"
+)
+
+// NewServer returns the fleet's HTTP/JSON control plane over a manager
+// (stdlib only, as everywhere in this repo):
+//
+//	POST /api/v1/sessions            submit 1..N sessions
+//	GET  /api/v1/sessions[?state=]   list sessions
+//	GET  /api/v1/sessions/{id}       inspect one session
+//	POST /api/v1/sessions/{id}/stop  cooperative stop
+//	GET  /api/v1/sessions/{id}/stream  NDJSON live status
+//	GET  /api/v1/rollup              fleet-wide rollup (JSON)
+//	POST /api/v1/drain               stop intake, wait for the fleet
+//	GET  /metrics                    Prometheus text exposition
+//	GET  /healthz                    liveness
+func NewServer(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmit(m, w, r)
+	})
+	mux.HandleFunc("GET /api/v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.List(State(r.URL.Query().Get("state"))))
+	})
+	mux.HandleFunc("GET /api/v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("POST /api/v1/sessions/{id}/stop", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := m.Stop(id); err != nil {
+			writeError(w, err)
+			return
+		}
+		v, _ := m.Get(id)
+		writeJSON(w, http.StatusAccepted, v)
+	})
+	mux.HandleFunc("GET /api/v1/sessions/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		handleStream(m, w, r)
+	})
+	mux.HandleFunc("GET /api/v1/rollup", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Rollup())
+	})
+	mux.HandleFunc("POST /api/v1/drain", func(w http.ResponseWriter, r *http.Request) {
+		if err := m.Drain(r.Context()); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, m.Rollup())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		report.PrometheusMetrics(w, m.Rollup())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		status := "ok"
+		if m.Draining() {
+			status = "draining"
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": status})
+	})
+	return mux
+}
+
+// submitRequest is the POST /api/v1/sessions body: one config, fanned
+// out to Count sessions with consecutive seeds (a convenience for "run
+// this cell N times" fleet campaigns).
+type submitRequest struct {
+	Config
+	// Count submits this many sessions at seeds Seed, Seed+1, …;
+	// 0 means 1.
+	Count int `json:"count,omitempty"`
+}
+
+// maxSubmitCount bounds one request's fan-out; campaigns beyond it
+// should batch their submissions.
+const maxSubmitCount = 4096
+
+func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody(fmt.Errorf("decoding request: %w", err)))
+		return
+	}
+	if req.Count == 0 {
+		req.Count = 1
+	}
+	if req.Count < 0 || req.Count > maxSubmitCount {
+		writeJSON(w, http.StatusBadRequest, errorBody(fmt.Errorf("count %d outside [1, %d]", req.Count, maxSubmitCount)))
+		return
+	}
+	views := make([]SessionView, 0, req.Count)
+	for i := 0; i < req.Count; i++ {
+		cfg := req.Config
+		cfg.Seed += int64(i)
+		v, err := m.Submit(cfg)
+		if err != nil {
+			// Partial acceptance is reported honestly: what landed is
+			// in "sessions", what stopped intake in "error".
+			writeJSON(w, statusFor(err), struct {
+				Sessions []SessionView `json:"sessions"`
+				Error    string        `json:"error"`
+			}{views, err.Error()})
+			return
+		}
+		views = append(views, v)
+	}
+	writeJSON(w, http.StatusCreated, struct {
+		Sessions []SessionView `json:"sessions"`
+	}{views})
+}
+
+// handleStream writes the session's status as NDJSON — one SessionView
+// per line — every interval until the session lands in a terminal state
+// (the final view is always emitted) or the client goes away.
+func handleStream(m *Manager, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s, err := m.lookup(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	interval := 500 * time.Millisecond
+	if q := r.URL.Query().Get("interval_ms"); q != "" {
+		ms, err := strconv.Atoi(q)
+		if err != nil || ms < 20 {
+			writeJSON(w, http.StatusBadRequest, errorBody(fmt.Errorf("interval_ms %q: want an integer >= 20", q)))
+			return
+		}
+		interval = time.Duration(ms) * time.Millisecond
+	}
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+
+	enc := json.NewEncoder(w)
+	emit := func() bool {
+		v := s.view()
+		if err := enc.Encode(v); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return !v.Terminal()
+	}
+	if !emit() {
+		return
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.done:
+			emit()
+			return
+		case <-ticker.C:
+			if !emit() {
+				return
+			}
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func errorBody(err error) map[string]string { return map[string]string{"error": err.Error()} }
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrDraining), errors.Is(err, par.ErrQueueFull), errors.Is(err, par.ErrPoolClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, statusFor(err), errorBody(err))
+}

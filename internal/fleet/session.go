@@ -1,0 +1,216 @@
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aspeo/internal/core"
+	"aspeo/internal/experiment"
+	"aspeo/internal/report"
+)
+
+// restartSeedStride separates the seeds of a session's restart attempts:
+// replaying the exact cell that just failed would fail identically, so a
+// retry models what a real re-run faces — the same plan under different
+// stochastic conditions. Attempt k runs at Seed + k·stride; the stride
+// is a prime far larger than any campaign's seed spacing so attempt
+// seeds never collide with sibling sessions'.
+const restartSeedStride = 1_000_003
+
+// session is the manager's per-session record. The simulation cell
+// itself stays single-threaded on the worker goroutine; mu guards only
+// this status record, which HTTP handlers and rollups read concurrently.
+type session struct {
+	id   string
+	seq  uint64
+	cfg  Config
+	stop atomic.Bool
+
+	mu          sync.Mutex
+	state       State
+	restarts    int
+	errMsg      string
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
+	lastSnap    *core.CycleSnapshot
+	summary     *report.RunSummary
+	allocLog    []core.AllocationRecord
+
+	done chan struct{} // closed on terminal state
+}
+
+// SessionView is a session's externally visible status — the fleet
+// API's session resource.
+type SessionView struct {
+	ID       string `json:"id"`
+	State    State  `json:"state"`
+	Config   Config `json:"config"`
+	Restarts int    `json:"restarts"`
+	Error    string `json:"error,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+
+	// LastCycle is the controller's most recent per-cycle snapshot
+	// (live telemetry; nil for governor sessions or before the first
+	// cycle).
+	LastCycle *core.CycleSnapshot `json:"last_cycle,omitempty"`
+	// Summary is the run's final record, present once terminal (partial
+	// for stopped sessions).
+	Summary *report.RunSummary `json:"summary,omitempty"`
+
+	seq uint64 // ordering key for List
+}
+
+func (s *session) view() SessionView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := SessionView{
+		ID: s.id, State: s.state, Config: s.cfg,
+		Restarts: s.restarts, Error: s.errMsg,
+		SubmittedAt: s.submittedAt, seq: s.seq,
+	}
+	if !s.startedAt.IsZero() {
+		t := s.startedAt
+		v.StartedAt = &t
+	}
+	if !s.finishedAt.IsZero() {
+		t := s.finishedAt
+		v.FinishedAt = &t
+	}
+	if s.lastSnap != nil {
+		snap := *s.lastSnap
+		v.LastCycle = &snap
+	}
+	if s.summary != nil {
+		sum := *s.summary
+		v.Summary = &sum
+	}
+	return v
+}
+
+// Terminal reports whether the view shows a final state.
+func (v SessionView) Terminal() bool { return v.State.Terminal() }
+
+// runSession is the worker-side lifecycle: pending → running → one or
+// more attempts → terminal state. It owns the simulation cell for the
+// session's whole life; everything it shares with readers goes through
+// the session mutex.
+func (m *Manager) runSession(s *session) {
+	if s.stop.Load() {
+		s.finish(StateStopped, "stopped before start")
+		return
+	}
+	s.mu.Lock()
+	s.state = StateRunning
+	s.startedAt = time.Now()
+	s.mu.Unlock()
+
+	for attempt := 0; ; attempt++ {
+		failure := m.runAttempt(s, attempt)
+		if s.stop.Load() {
+			s.finish(StateStopped, "")
+			return
+		}
+		if failure == "" {
+			s.finish(StateCompleted, "")
+			return
+		}
+		if attempt >= s.cfg.MaxRestarts {
+			s.finish(StateFailed, failure)
+			return
+		}
+		m.restarts.Add(1)
+		s.mu.Lock()
+		s.restarts++
+		s.errMsg = failure // visible while the retry runs
+		s.mu.Unlock()
+	}
+}
+
+// runAttempt builds and runs one cell. It returns "" on success or a
+// failure description: a construction error, a run that died, or a
+// controller that relinquished the device — the resilience ladder's
+// terminal rung, which the fleet treats as session failure (the
+// controller-managed run it was asked for did not survive).
+func (m *Manager) runAttempt(s *session, attempt int) (failure string) {
+	spec := s.cfg.spec(s.cfg.Seed + int64(attempt)*restartSeedStride)
+	spec.OnCycle = func(cs core.CycleSnapshot) {
+		m.agg.observeCycle()
+		s.mu.Lock()
+		s.lastSnap = &cs
+		s.mu.Unlock()
+	}
+
+	sess, err := experiment.NewSession(spec)
+	if err != nil {
+		return err.Error()
+	}
+	st := sess.Run(s.stop.Load)
+	sum := report.NewRunSummary(sess, st)
+
+	s.mu.Lock()
+	s.summary = &sum
+	if s.cfg.LogAllocations && sess.Controller != nil {
+		s.allocLog = sess.Controller.AllocationLog()
+	}
+	s.mu.Unlock()
+
+	if c := sum.Controller; c != nil && c.Health.Relinquished {
+		return "controller relinquished the device"
+	}
+	return ""
+}
+
+// finish lands the session in a terminal state exactly once.
+func (s *session) finish(state State, errMsg string) {
+	s.mu.Lock()
+	s.state = state
+	if errMsg != "" {
+		s.errMsg = errMsg
+	} else if state != StateFailed {
+		s.errMsg = ""
+	}
+	s.finishedAt = time.Now()
+	s.mu.Unlock()
+	close(s.done)
+}
+
+// aggregator keeps the fleet-wide cycle counter and computes a stable
+// recent throughput: the rate over the window since the last baseline,
+// where the baseline only advances once the window exceeds a second —
+// so back-to-back /metrics scrapes don't each measure a microscopic
+// window.
+type aggregator struct {
+	cycles atomic.Int64
+
+	mu         sync.Mutex
+	start      time.Time
+	baseWall   time.Time
+	baseCycles int64
+	lastRate   float64
+}
+
+func (a *aggregator) observeCycle() { a.cycles.Add(1) }
+
+func (a *aggregator) rate() (total int, perSec float64) {
+	now := time.Now()
+	cycles := a.cycles.Load()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.baseWall.IsZero() {
+		a.baseWall = a.start
+	}
+	if dt := now.Sub(a.baseWall); dt >= time.Second {
+		a.lastRate = float64(cycles-a.baseCycles) / dt.Seconds()
+		a.baseWall = now
+		a.baseCycles = cycles
+	} else if a.lastRate == 0 && dt > 0 {
+		// Young fleet: report the rate since start rather than 0.
+		a.lastRate = float64(cycles-a.baseCycles) / dt.Seconds()
+	}
+	return int(cycles), a.lastRate
+}

@@ -209,6 +209,19 @@ type CPUFreq struct {
 	period       time.Duration
 }
 
+// CPUFreqPolicies lists the governor names the policy engine dispatches
+// to — the valid values of a baseline run's scaling_governor. userspace
+// is deliberately absent: it is a policy vacuum on its own (frequency
+// then comes only from setspeed writes), so selecting it as a baseline
+// is almost always a flag typo, and callers validating user input should
+// reject it alongside unknown names.
+func CPUFreqPolicies() []string {
+	return []string{
+		platform.GovInteractive, platform.GovOndemand, platform.GovConservative,
+		platform.GovPerformance, platform.GovPowersave,
+	}
+}
+
 // NewCPUFreq builds the policy engine with default tunables.
 func NewCPUFreq() *CPUFreq {
 	return NewCPUFreqTuned(DefaultInteractive(), DefaultOndemand())

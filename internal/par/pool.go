@@ -1,0 +1,90 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Pool errors.
+var (
+	// ErrPoolClosed is returned by Submit after Close has begun.
+	ErrPoolClosed = errors.New("par: pool closed")
+	// ErrQueueFull is returned by Submit when the backlog is at
+	// capacity; the caller sheds load instead of blocking.
+	ErrQueueFull = errors.New("par: pool queue full")
+)
+
+// Pool is the long-lived counterpart of ForEach: a fixed-size worker
+// pool consuming dynamically submitted jobs. ForEach serves campaigns —
+// a work-list enumerated up front, run to completion, done. A runtime
+// that accepts work over its whole lifetime (the fleet session manager)
+// needs the inverse shape: jobs arrive one at a time, queue in a bounded
+// backlog, and drain on shutdown.
+//
+// Determinism is the submitter's concern here, not the pool's: a job
+// must own its mutable state (one simulation cell per job) exactly as
+// ForEach cells do, and results must not depend on which worker runs a
+// job or in what order queued jobs start.
+type Pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts a pool with `workers` goroutines (<= 0 means
+// GOMAXPROCS) and a backlog of `queue` jobs (<= 0 selects 1024).
+func NewPool(workers, queue int) *Pool {
+	if queue <= 0 {
+		queue = 1024
+	}
+	p := &Pool{jobs: make(chan func(), queue)}
+	w := Workers(workers)
+	p.wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues a job without blocking. It fails with ErrPoolClosed
+// once Close has begun and ErrQueueFull when the backlog is at capacity.
+func (p *Pool) Submit(job func()) error {
+	if job == nil {
+		return fmt.Errorf("par: nil job")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.jobs <- job:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Backlog returns the number of queued jobs not yet picked up.
+func (p *Pool) Backlog() int { return len(p.jobs) }
+
+// Close stops intake and blocks until every queued job has run — the
+// pool's graceful drain. Idempotent; concurrent Submits during Close
+// fail with ErrPoolClosed rather than racing the channel close.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

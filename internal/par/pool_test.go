@@ -1,0 +1,83 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsAllJobs(t *testing.T) {
+	p := NewPool(4, 128)
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		if err := p.Submit(func() { n.Add(1) }); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	p.Close()
+	if got := n.Load(); got != 100 {
+		t.Fatalf("ran %d jobs, want 100", got)
+	}
+}
+
+func TestPoolSubmitAfterClose(t *testing.T) {
+	p := NewPool(2, 8)
+	p.Close()
+	if err := p.Submit(func() {}); err != ErrPoolClosed {
+		t.Fatalf("Submit after Close = %v, want ErrPoolClosed", err)
+	}
+	p.Close() // idempotent
+}
+
+func TestPoolQueueFull(t *testing.T) {
+	// One worker, wedged on a gate; the backlog then has room for
+	// exactly `queue` more jobs before Submit sheds.
+	gate := make(chan struct{})
+	p := NewPool(1, 2)
+	if err := p.Submit(func() { <-gate }); err != nil {
+		t.Fatalf("Submit (worker job): %v", err)
+	}
+	// The worker may not have picked up the first job yet; fill until
+	// full, which must happen within queue+1 submissions.
+	var errFull error
+	for i := 0; i < 4 && errFull == nil; i++ {
+		errFull = p.Submit(func() {})
+	}
+	if errFull != ErrQueueFull {
+		t.Fatalf("Submit on full queue = %v, want ErrQueueFull", errFull)
+	}
+	close(gate)
+	p.Close()
+}
+
+func TestPoolConcurrentSubmitAndClose(t *testing.T) {
+	// Submits racing Close must either run or fail cleanly — never
+	// panic on a closed channel. Run under -race in CI.
+	p := NewPool(4, 64)
+	var wg sync.WaitGroup
+	var ran atomic.Int64
+	var rejected atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				err := p.Submit(func() { ran.Add(1) })
+				switch err {
+				case nil:
+				case ErrPoolClosed, ErrQueueFull:
+					rejected.Add(1)
+				default:
+					t.Errorf("Submit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	p.Close()
+	wg.Wait()
+	p.Close()
+	if ran.Load()+rejected.Load() != 400 {
+		t.Fatalf("ran %d + rejected %d != 400", ran.Load(), rejected.Load())
+	}
+}

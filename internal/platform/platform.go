@@ -128,9 +128,67 @@ type SysfsView interface {
 	CreateFile(path, initial string, writable bool, hook sysfs.WriteHook)
 }
 
-// Telemetry is the load-statistics surface the stock governors sample:
-// cumulative busy-time and traffic counters (snapshot and diff, like
-// /proc/stat) and the input-event queue.
+// Health is a control actor's self-diagnostics ledger: what its fault
+// ladder observed and did. It lives in the platform contract (rather
+// than internal/core, whose controller populates it) so every backend
+// records the same shape through Telemetry.RecordHealth and every
+// consumer — the report layer, the fleet rollups, the resilience tests —
+// reads one definition.
+type Health struct {
+	// ActuationFailures counts failed sysfs actuation writes, retries
+	// included.
+	ActuationFailures int `json:"actuation_failures"`
+	// ActuationRetries counts retry attempts spent on failed writes.
+	ActuationRetries int `json:"actuation_retries"`
+	// GovernorReinstalls counts hijacks detected and repaired by
+	// rewriting the governor file back to userspace.
+	GovernorReinstalls int `json:"governor_reinstalls"`
+	// MaxFreqRestores counts scaling_max_freq clamps undone.
+	MaxFreqRestores int `json:"max_freq_restores"`
+	// RejectedSamples counts measurements the validation gate kept out
+	// of the Kalman update; the next three break it down by cause.
+	RejectedSamples  int `json:"rejected_samples"`
+	NonFiniteSamples int `json:"non_finite_samples"`
+	StuckSamples     int `json:"stuck_samples"`
+	OutlierSamples   int `json:"outlier_samples"`
+	// DegradedCycles counts control cycles spent at the safe
+	// configuration.
+	DegradedCycles int `json:"degraded_cycles"`
+	// WatchdogTrips counts degrade and relinquish transitions.
+	WatchdogTrips int `json:"watchdog_trips"`
+	// ConsecutiveFailures is the watchdog's current failing-cycle run.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// Relinquished is set once control is handed back to the stock
+	// governors; the controller stops actuating for good.
+	Relinquished bool `json:"relinquished"`
+}
+
+// Add folds another ledger into this one, field by field. Fleet rollups
+// use it to sum health across sessions; ConsecutiveFailures sums too
+// (it reads as "failing cycles currently in flight" fleet-wide) and
+// Relinquished ORs.
+func (h *Health) Add(o Health) {
+	h.ActuationFailures += o.ActuationFailures
+	h.ActuationRetries += o.ActuationRetries
+	h.GovernorReinstalls += o.GovernorReinstalls
+	h.MaxFreqRestores += o.MaxFreqRestores
+	h.RejectedSamples += o.RejectedSamples
+	h.NonFiniteSamples += o.NonFiniteSamples
+	h.StuckSamples += o.StuckSamples
+	h.OutlierSamples += o.OutlierSamples
+	h.DegradedCycles += o.DegradedCycles
+	h.WatchdogTrips += o.WatchdogTrips
+	h.ConsecutiveFailures += o.ConsecutiveFailures
+	h.Relinquished = h.Relinquished || o.Relinquished
+}
+
+// Telemetry is the device's statistics surface. Downward, it is what the
+// stock governors sample: cumulative busy-time and traffic counters
+// (snapshot and diff, like /proc/stat) and the input-event queue.
+// Upward, it is where control software publishes its own health ledger,
+// so any backend (sim, replay, a real device shim) records controller
+// self-diagnostics uniformly and harnesses read them back without
+// holding a concrete controller pointer.
 type Telemetry interface {
 	// CumMachineBusySec returns cumulative aggregate machine-busy
 	// seconds. Monotonically non-decreasing.
@@ -142,6 +200,14 @@ type Telemetry interface {
 	// TakeTouches drains and returns pending input events; an immediate
 	// second call returns 0.
 	TakeTouches() int
+	// RecordHealth publishes a control actor's health ledger. Recording
+	// must not alter the device's trajectory: it is observation, not
+	// actuation, and replaying a recorded run with or without a recorder
+	// attached yields identical behavior.
+	RecordHealth(h Health)
+	// LastHealth returns the most recently recorded ledger, or the zero
+	// value when nothing has been recorded.
+	LastHealth() Health
 }
 
 // Device bundles every capability a backend provides. Consumers should

@@ -254,6 +254,21 @@ func testTelemetry(t *testing.T, f Fixture) {
 	if n := dev.TakeTouches(); n != 0 {
 		t.Fatalf("second TakeTouches = %d, want 0 (drain semantics)", n)
 	}
+
+	// Health recording: zero before any publication, read-back equal
+	// after, and recording must not perturb the device's trajectory
+	// (the clock keeps advancing identically either way — asserted
+	// implicitly by the determinism suites that run with controllers
+	// attached, which record every cycle).
+	if h := dev.LastHealth(); h != (platform.Health{}) {
+		t.Fatalf("LastHealth before any RecordHealth = %+v, want zero", h)
+	}
+	want := platform.Health{ActuationFailures: 3, RejectedSamples: 2, StuckSamples: 2, WatchdogTrips: 1}
+	dev.RecordHealth(want)
+	if got := dev.LastHealth(); got != want {
+		t.Fatalf("LastHealth = %+v, want %+v", got, want)
+	}
+	dev.RecordHealth(platform.Health{})
 }
 
 // testPower: the rail reads sanely after a step and the instrumentation

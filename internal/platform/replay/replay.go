@@ -47,6 +47,7 @@ type Device struct {
 	pendingTouches int
 	freqChanges    int
 	bwChanges      int
+	health         platform.Health // last RecordHealth publication
 }
 
 var _ platform.Device = (*Device)(nil)
@@ -325,6 +326,14 @@ func (d *Device) TakeTouches() int {
 	d.pendingTouches = 0
 	return n
 }
+
+// RecordHealth stores the control software's latest health ledger.
+// Like all replay actuation surfaces it never alters the recorded
+// trajectory.
+func (d *Device) RecordHealth(h platform.Health) { d.health = h }
+
+// LastHealth returns the most recently recorded health ledger.
+func (d *Device) LastHealth() platform.Health { return d.health }
 
 // Engine drives actors over a replayed Device with the simulator's
 // scheduling semantics: actors tick at their period boundaries, in

@@ -28,9 +28,10 @@ const DefaultStep = time.Millisecond
 // Phone per goroutine") and cells share nothing but read-only inputs
 // such as workload specs and profile tables.
 type Engine struct {
-	phone  *Phone
-	step   time.Duration
-	actors []scheduled
+	phone     *Phone
+	step      time.Duration
+	actors    []scheduled
+	interrupt func() bool
 }
 
 type scheduled struct {
@@ -71,6 +72,14 @@ func (e *Engine) MustRegister(a Actor) {
 	}
 }
 
+// SetInterrupt installs a callback polled at every step boundary during
+// Run; when it returns true the run stops there, and Run's Stats cover
+// exactly the steps that executed. nil clears it. The fleet runtime uses
+// this for cooperative session stop; an interrupt that never fires
+// leaves the run bit-identical to one without (the poll is observation
+// only — it cannot touch the cell).
+func (e *Engine) SetInterrupt(f func() bool) { e.interrupt = f }
+
 // Stats summarizes a run; the definition lives in platform so every
 // backend reports the same shape.
 type Stats = platform.Stats
@@ -92,6 +101,9 @@ func (e *Engine) Run(until time.Duration, stopWhenFGDone bool) Stats {
 
 	for ph.Now() < deadline {
 		if stopWhenFGDone && ph.FGDone() {
+			break
+		}
+		if e.interrupt != nil && e.interrupt() {
 			break
 		}
 		now := ph.Now()

@@ -77,6 +77,7 @@ type Phone struct {
 	pendingTouches    int
 	freqChanges       int
 	bwChanges         int
+	health            platform.Health // last RecordHealth publication
 
 	// Per-step transient state.
 	pendingOverlayJ float64 // one-shot overlay energy charged to the next step
@@ -351,6 +352,13 @@ func (p *Phone) CumBusyCoreSec() float64 { return p.cumBusyCoreSec }
 
 // CumTrafficBytes returns cumulative DRAM traffic.
 func (p *Phone) CumTrafficBytes() float64 { return p.cumTrafficBytes }
+
+// RecordHealth stores the control software's latest health ledger.
+// Observation only: it does not touch the simulation state.
+func (p *Phone) RecordHealth(h platform.Health) { p.health = h }
+
+// LastHealth returns the most recently recorded health ledger.
+func (p *Phone) LastHealth() platform.Health { return p.health }
 
 // TakeTouches drains and returns pending input events.
 func (p *Phone) TakeTouches() int {
