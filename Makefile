@@ -1,15 +1,15 @@
 # CI entry points. `make ci` is what .github/workflows/ci.yml runs:
 # vet, build, the full test suite under the race detector, a
 # single-iteration pass over the optimizer benchmarks to keep them
-# compiling and honest, the fault-campaign, record/replay and fleet
-# control-plane smoke tests, and — when the tools are on PATH —
-# staticcheck and govulncheck.
+# compiling and honest, the fault-campaign, record/replay, fleet
+# control-plane and decision-trace smoke tests, and — when the tools
+# are on PATH — staticcheck and govulncheck.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-campaign smoke-faults smoke-replay smoke-fleet lint vuln fuzz
+.PHONY: ci vet build test race bench bench-campaign smoke-faults smoke-replay smoke-fleet smoke-trace lint vuln fuzz
 
-ci: vet build race bench smoke-faults smoke-replay smoke-fleet lint vuln
+ci: vet build race bench smoke-faults smoke-replay smoke-fleet smoke-trace lint vuln
 
 vet:
 	$(GO) vet ./...
@@ -43,6 +43,13 @@ smoke-replay:
 # the rollup and /metrics, drain, and verify intake is closed.
 smoke-fleet:
 	$(GO) test -count=1 -race -run=TestFleetSmokeHTTP ./internal/fleet/
+
+# The decision-trace determinism contract end to end: two runs of the
+# same seed diff to zero divergent cycles (including across an NDJSON
+# round trip, the aspeo-trace diff path), and two different seeds
+# diverge at a definite first cycle with attribute deltas.
+smoke-trace:
+	$(GO) test -count=1 -run=TestTraceSmoke ./internal/experiment/
 
 # staticcheck and govulncheck run when installed (CI installs them);
 # locally they no-op with a note rather than failing the build.

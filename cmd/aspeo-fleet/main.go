@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,11 +45,32 @@ func main() {
 		workers      = flag.Int("workers", 0, "concurrent sessions (0 = one per CPU)")
 		queue        = flag.Int("queue", 0, "submission backlog capacity (0 = 1024)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits before stopping sessions cooperatively")
+		flightDir    = flag.String("flight-dir", "", "directory for automatic flight-recorder dumps (NDJSON per escalated session attempt); empty disables dumps")
+		flightCap    = flag.Int("flight-cap", 0, "per-session flight recorder capacity in spans (0 = default, negative disables recording)")
+		enablePprof  = flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
 	)
 	flag.Parse()
 
-	m := fleet.NewManager(fleet.Options{Workers: *workers, Queue: *queue})
-	srv := &http.Server{Addr: *addr, Handler: fleet.NewServer(m)}
+	m := fleet.NewManager(fleet.Options{
+		Workers: *workers, Queue: *queue,
+		FlightCap: *flightCap, FlightDir: *flightDir,
+	})
+	handler := fleet.NewServer(m)
+	if *enablePprof {
+		// The profiling surface is opt-in: registered explicitly on the
+		// parent mux (not via the package's init side effect on
+		// DefaultServeMux) so the control plane only exposes it when
+		// asked.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer cancel()

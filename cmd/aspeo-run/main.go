@@ -13,6 +13,8 @@
 //	aspeo-run -app spotify -controller -faults combined   # inject a fault scenario
 //	aspeo-run -app spotify -record run.json       # full-rate trace for platform/replay
 //	aspeo-run -app spotify -controller -json      # machine-readable summary on stdout
+//	aspeo-run -app spotify -controller -trace-out run.trace.ndjson   # decision trace
+//	aspeo-run -app spotify -controller -faults combined -flight-out flight.ndjson
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 
 	"aspeo/internal/experiment"
 	"aspeo/internal/governor"
+	"aspeo/internal/obs"
 	"aspeo/internal/report"
 	"aspeo/internal/sim"
 	"aspeo/internal/workload"
@@ -46,6 +49,9 @@ func main() {
 		recordJSON = flag.String("record", "", "write a full-rate JSON trace (replayable via platform/replay) to this path")
 		faultName  = flag.String("faults", "", "inject a fault scenario: "+strings.Join(experiment.FaultScenarioNames(), ", "))
 		jsonOut    = flag.Bool("json", false, "emit the final run summary as JSON on stdout (shared schema with the fleet API)")
+		traceOut   = flag.String("trace-out", "", "write the controller's full decision trace (NDJSON, for aspeo-trace) to this path")
+		flightOut  = flag.String("flight-out", "", "write the flight recorder's ring (last spans before an escalation) to this path when the watchdog tripped or the controller relinquished")
+		flightCap  = flag.Int("flight-cap", 0, "flight recorder ring capacity in spans (0 = default)")
 	)
 	flag.Parse()
 
@@ -59,11 +65,33 @@ func main() {
 		traceEvery = sim.DefaultStep
 	}
 
+	// Decision tracing: -trace-out collects the run's whole span stream,
+	// -flight-out keeps only the bounded ring the fleet dumps on
+	// escalation. Both ride the same sink, so either alone or both
+	// together see the identical stream — and tracing is observation
+	// only, so the run's results match an untraced run bit for bit.
+	var trace *obs.Trace
+	var flight *obs.Recorder
+	var sinks []obs.Sink
+	if *traceOut != "" {
+		trace = obs.NewTrace()
+		sinks = append(sinks, trace)
+	}
+	if *flightOut != "" {
+		flight = obs.NewRecorder(*flightCap)
+		sinks = append(sinks, flight)
+	}
+	var sink obs.Sink
+	if len(sinks) > 0 {
+		sink = obs.Tee(sinks...)
+	}
+
 	spec := experiment.SessionSpec{
 		App: *app, Load: *load, Governor: *gov,
 		Controller: *useCtl, CPUOnly: *cpuOnly,
 		Profile: *profPath, TargetGIPS: *target, Quick: *quick,
 		Seed: *seed, Faults: *faultName, TraceEvery: traceEvery,
+		Trace: sink,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -119,6 +147,25 @@ func main() {
 	}
 	if *recordJSON != "" {
 		writeFile(*recordJSON, ph.Recorder().WriteJSON)
+	}
+	if trace != nil {
+		writeFile(*traceOut, trace.WriteNDJSON)
+	}
+	if flight != nil {
+		// Like the fleet's automatic dumps, the flight recorder only
+		// lands on disk when something escalated; a clean run writes
+		// nothing.
+		escalated := false
+		if c := summary.Controller; c != nil {
+			escalated = c.Health.WatchdogTrips > 0 || c.Health.Relinquished
+		}
+		if escalated {
+			writeFile(*flightOut, flight.WriteNDJSON)
+			fmt.Fprintf(os.Stderr, "aspeo-run: flight recorder dumped to %s (%d spans, %d evicted)\n",
+				*flightOut, len(flight.Snapshot()), flight.Dropped())
+		} else {
+			fmt.Fprintln(os.Stderr, "aspeo-run: no escalation; flight recorder not dumped")
+		}
 	}
 }
 

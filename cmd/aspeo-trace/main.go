@@ -1,0 +1,124 @@
+// Command aspeo-trace inspects controller decision traces — the NDJSON
+// span streams written by `aspeo-run -trace-out`, the flight-recorder
+// dumps (`-flight-out`, the fleet's automatic escalation dumps), and the
+// fleet trace endpoint.
+//
+// Usage:
+//
+//	aspeo-trace summary run.trace.ndjson
+//	aspeo-trace show run.trace.ndjson -stage optimize -cycle 41
+//	aspeo-trace diff a.trace.ndjson b.trace.ndjson
+//
+// diff compares two traces cycle by cycle and reports the first
+// divergent cycle with its per-stage attribute deltas. Exit status: 0
+// when the traces are identical, 1 on divergence, 2 on usage or I/O
+// errors — so seeded-determinism checks can assert on it directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aspeo/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "summary":
+		cmdSummary(os.Args[2:])
+	case "show":
+		cmdShow(os.Args[2:])
+	case "diff":
+		cmdDiff(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "aspeo-trace: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  aspeo-trace summary <trace.ndjson>                 condensed trace overview
+  aspeo-trace show <trace.ndjson> [-stage s] [-cycle n]   print matching spans
+  aspeo-trace diff <a.ndjson> <b.ndjson>             first divergent cycle + deltas
+`)
+}
+
+func readTrace(path string) []obs.Span {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	spans, err := obs.ReadNDJSON(f)
+	if err != nil {
+		fatal("%s: %v", path, err)
+	}
+	return spans
+}
+
+func cmdSummary(args []string) {
+	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal("summary wants exactly one trace file")
+	}
+	obs.WriteSummary(os.Stdout, obs.Summarize(readTrace(fs.Arg(0))))
+}
+
+func cmdShow(args []string) {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	stage := fs.String("stage", "", "only spans of this stage (cycle, measure, kalman, optimize, schedule, ladder)")
+	cycle := fs.Int("cycle", 0, "only spans of this control cycle (0 = all)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal("show wants exactly one trace file")
+	}
+	var kept []obs.Span
+	for _, s := range readTrace(fs.Arg(0)) {
+		if *stage != "" && s.Stage != *stage {
+			continue
+		}
+		if *cycle != 0 && s.Cycle != *cycle {
+			continue
+		}
+		kept = append(kept, s)
+	}
+	if err := obs.WriteNDJSON(os.Stdout, kept); err != nil {
+		fatal("%v", err)
+	}
+}
+
+func cmdDiff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fatal("diff wants exactly two trace files")
+	}
+	a, b := readTrace(fs.Arg(0)), readTrace(fs.Arg(1))
+	res := obs.Diff(a, b)
+	fmt.Printf("A: %d spans, %d cycles   B: %d spans, %d cycles\n",
+		res.SpansA, res.CyclesA, res.SpansB, res.CyclesB)
+	if res.Identical() {
+		fmt.Println("traces identical: no divergent cycle")
+		return
+	}
+	fmt.Printf("first divergent cycle: %d\n", res.FirstDivergent)
+	for _, d := range res.Deltas {
+		fmt.Printf("  %s\n", d)
+	}
+	os.Exit(1)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aspeo-trace: "+format+"\n", args...)
+	os.Exit(2)
+}

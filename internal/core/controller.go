@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"aspeo/internal/kalman"
+	"aspeo/internal/obs"
 	"aspeo/internal/perftool"
 	"aspeo/internal/platform"
 	"aspeo/internal/profile"
@@ -73,6 +74,14 @@ type Options struct {
 	// rollups. It runs on the cell's goroutine; the subscriber is
 	// responsible for its own synchronization.
 	OnCycle func(CycleSnapshot)
+	// Trace enables per-stage decision tracing: every control cycle
+	// emits measure/kalman/optimize/schedule child spans plus a cycle
+	// summary span, and the resilience ladder emits transition events,
+	// all through platform.Telemetry.RecordSpan — so any backend (sim,
+	// replay, a real-device shim) records the identical stream.
+	// Observation only: a traced run is bit-identical to an untraced
+	// one, and an untraced run never pays for attribute assembly.
+	Trace bool
 }
 
 // DefaultOptions returns the paper's operating parameters for the given
@@ -154,6 +163,11 @@ type Controller struct {
 	stockBWGov       string
 	installedMaxFreq string // legitimate scaling_max_freq value
 	cyclesRun        int    // total runCycle invocations (measured or not)
+
+	// Decision-trace state (observation only — nothing below feeds back
+	// into the control law).
+	gateCause     string // why the gate rejected this cycle's sample
+	lastSolvePath string // "lp", "cache" or "frontier"
 
 	// Diagnostics.
 	cycles       int
@@ -333,9 +347,19 @@ func (c *Controller) cycleBody(dev platform.Device) {
 	c.cyclesRun++
 	failing := c.cycleFailed
 	c.cycleFailed = false
-	if !c.checkOwnership(dev) {
+	ownershipOK := c.checkOwnership(dev)
+	if !ownershipOK {
 		failing = true
 	}
+	c.gateCause = ""
+
+	// Trace collection: plain scalar locals populated along the decision
+	// path and emitted as spans afterwards. Writes are unconditional
+	// (they cost nothing); attribute maps are only built when tracing.
+	var (
+		trHaveY, trAccepted, trKalman bool
+		trY, trZ, trErr               float64
+	)
 
 	// The controller consumes the performance of its whole previous
 	// cycle (the paper measures twice per 2 s cycle and regulates on
@@ -355,6 +379,7 @@ func (c *Controller) cycleBody(dev platform.Device) {
 		if applied > 1e-9 {
 			z = y / applied
 		}
+		trHaveY, trY, trZ = true, y, z
 
 		accepted := c.gate(y, z)
 		if accepted {
@@ -364,13 +389,17 @@ func (c *Controller) cycleBody(dev platform.Device) {
 			if _, err := c.kf.Update(z); err != nil {
 				c.health.NonFiniteSamples++
 				c.health.RejectedSamples++
+				c.gateCause = "non-finite"
 				accepted = false
+			} else {
+				trKalman = true
 			}
 		}
 		if accepted {
 			e := c.opt.TargetGIPS - y // Eqn. (2)
 			c.cycles++
 			c.sumAbsErr += math.Abs(e)
+			trAccepted, trErr = true, e
 
 			// Phase-aware mode: recognize the cycle's phase and resume
 			// the integrator from that phase's converged state.
@@ -401,6 +430,34 @@ func (c *Controller) cycleBody(dev platform.Device) {
 		failing = true
 	}
 
+	if c.opt.Trace {
+		attrs := obs.Attrs{
+			"have_measurement": trHaveY,
+			"accepted":         trAccepted,
+			"ownership_ok":     ownershipOK,
+		}
+		if trHaveY {
+			attrs["measured_gips"] = trY
+			attrs["z"] = trZ
+		}
+		if c.gateCause != "" {
+			attrs["gate_verdict"] = c.gateCause
+		}
+		if trAccepted {
+			attrs["err_gips"] = trErr
+		}
+		c.emitSpan(dev, obs.StageMeasure, attrs)
+		if trKalman {
+			b, _ := c.kf.Estimate()
+			c.emitSpan(dev, obs.StageKalman, obs.Attrs{
+				"base_estimate_gips": b,
+				"variance":           c.kf.Variance(),
+				"gain":               c.kf.Gain(),
+				"steps":              obs.Num(c.kf.Steps()),
+			})
+		}
+	}
+
 	if c.watchdog(dev, failing) {
 		// Degraded (safe schedule installed) or relinquished: skip the
 		// optimizer. The watchdog's own compute still costs energy.
@@ -424,9 +481,38 @@ func (c *Controller) cycleBody(dev platform.Device) {
 			Cycle: c.cyclesRun, At: dev.Now(), Target: c.sPrev, Alloc: alloc,
 		})
 	}
-	c.fillSlots(alloc)
+	if c.opt.Trace {
+		c.emitSpan(dev, obs.StageOptimize, obs.Attrs{
+			"target_speedup":   c.sPrev,
+			"path":             c.lastSolvePath,
+			"low_freq_idx":     obs.Num(alloc.Low.FreqIdx),
+			"low_bw_idx":       obs.Num(alloc.Low.BWIdx),
+			"high_freq_idx":    obs.Num(alloc.High.FreqIdx),
+			"high_bw_idx":      obs.Num(alloc.High.BWIdx),
+			"tau_low_ns":       obs.Num(int64(alloc.TauLow)),
+			"tau_high_ns":      obs.Num(int64(alloc.TauHigh)),
+			"expected_speedup": alloc.ExpectedSpeedup,
+			"expected_power_w": alloc.ExpectedPowerW,
+		})
+	}
+	hiSlots := c.fillSlots(alloc)
+	if c.opt.Trace {
+		c.emitSpan(dev, obs.StageSchedule, obs.Attrs{
+			"safe":       false,
+			"hi_slots":   obs.Num(hiSlots),
+			"n_slots":    obs.Num(len(c.slots)),
+			"quantum_ns": obs.Num(int64(c.opt.Quantum)),
+		})
+	}
 	// Charge the regulator+optimizer compute cost (§V-A1).
 	dev.AddOverlayEnergyJ(cycleOverheadJ)
+}
+
+// emitSpan publishes one decision-trace span through the device's
+// telemetry surface. Callers gate on Options.Trace before assembling
+// attributes, so an untraced run never builds them.
+func (c *Controller) emitSpan(dev platform.Device, stage string, attrs obs.Attrs) {
+	dev.RecordSpan(obs.Span{Cycle: c.cyclesRun, Stage: stage, At: dev.Now(), Attrs: attrs})
 }
 
 // optimize resolves the target through the frontier fast path, with a
@@ -436,13 +522,16 @@ func (c *Controller) cycleBody(dev platform.Device) {
 // solve, so a cache hit returns exactly what the solver would.
 func (c *Controller) optimize(target float64) (Allocation, error) {
 	if c.opt.UseLP {
+		c.lastSolvePath = "lp"
 		return OptimizeLP(c.entries, target, c.opt.CycleT)
 	}
 	qt := math.Round(target*allocCacheScale) / allocCacheScale
 	if a, ok := c.allocCache[qt]; ok {
 		c.allocCacheHits++
+		c.lastSolvePath = "cache"
 		return a, nil
 	}
+	c.lastSolvePath = "frontier"
 	a, err := c.frontier.Optimize(qt, c.opt.CycleT)
 	if err != nil {
 		return a, err
@@ -454,10 +543,11 @@ func (c *Controller) optimize(target float64) (Allocation, error) {
 	return a, nil
 }
 
-// fillSlots quantizes the allocation onto the scheduler's dwell grid. The
-// low configuration runs first, then the high one — a single transition
-// per cycle, as in the paper's scheduler S.
-func (c *Controller) fillSlots(a Allocation) {
+// fillSlots quantizes the allocation onto the scheduler's dwell grid and
+// returns the number of high-configuration slots. The low configuration
+// runs first, then the high one — a single transition per cycle, as in
+// the paper's scheduler S.
+func (c *Controller) fillSlots(a Allocation) int {
 	n := len(c.slots)
 	hiSlots := int(float64(a.TauHigh)/float64(c.opt.Quantum) + 0.5)
 	if hiSlots > n {
@@ -470,6 +560,7 @@ func (c *Controller) fillSlots(a Allocation) {
 			c.slots[i] = a.High
 		}
 	}
+	return hiSlots
 }
 
 // apply actuates one slot through the sysfs userspace files. A failed

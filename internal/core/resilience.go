@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
+	"aspeo/internal/obs"
 	"aspeo/internal/perftool"
 	"aspeo/internal/platform"
 	"aspeo/internal/profile"
@@ -184,6 +186,7 @@ func (c *Controller) gate(y, z float64) bool {
 	if math.IsNaN(z) || math.IsInf(z, 0) {
 		c.health.NonFiniteSamples++
 		c.health.RejectedSamples++
+		c.gateCause = "non-finite"
 		return false
 	}
 	stuck := len(c.recentY) >= c.res.StuckWindow-1
@@ -197,6 +200,7 @@ func (c *Controller) gate(y, z float64) bool {
 	if stuck {
 		c.health.StuckSamples++
 		c.health.RejectedSamples++
+		c.gateCause = "stuck"
 		return false
 	}
 	if est, err := c.kf.Estimate(); err == nil {
@@ -205,6 +209,7 @@ func (c *Controller) gate(y, z float64) bool {
 			c.outlierRun++
 			c.health.OutlierSamples++
 			c.health.RejectedSamples++
+			c.gateCause = "outlier"
 			return false
 		}
 	}
@@ -234,6 +239,7 @@ func (c *Controller) watchdog(dev platform.Device, failing bool) bool {
 		if c.degraded {
 			// The fault cleared: resume closed-loop control.
 			c.degraded = false
+			c.ladderTransition(dev, "recovered")
 		}
 	}
 	if c.health.ConsecutiveFailures >= c.res.RelinquishAfter {
@@ -243,15 +249,38 @@ func (c *Controller) watchdog(dev platform.Device, failing bool) bool {
 	if !c.degraded && c.health.ConsecutiveFailures >= c.res.DegradeAfter {
 		c.degraded = true
 		c.health.WatchdogTrips++
+		c.ladderTransition(dev, "degraded")
 	}
 	if c.degraded {
 		c.health.DegradedCycles++
 		alloc := c.safeAllocation()
 		c.lastAlloc = alloc
 		c.fillSlots(alloc)
+		if c.opt.Trace {
+			c.emitSpan(dev, obs.StageSchedule, obs.Attrs{
+				"safe":          true,
+				"safe_freq_idx": obs.Num(alloc.Low.FreqIdx),
+				"safe_bw_idx":   obs.Num(alloc.Low.BWIdx),
+			})
+		}
 		return true
 	}
 	return false
+}
+
+// ladderTransition records a degradation-ladder transition in both
+// observation surfaces at once: the health ledger's LastTransition field
+// (which aggregate consumers — the run summary, the fleet rollup — read)
+// and, when tracing, a ladder event span in the decision trace.
+func (c *Controller) ladderTransition(dev platform.Device, name string) {
+	c.health.LastTransition = fmt.Sprintf("%s@%d", name, c.cyclesRun)
+	if c.opt.Trace {
+		c.emitSpan(dev, obs.StageLadder, obs.Attrs{
+			"transition":           name,
+			"consecutive_failures": obs.Num(c.health.ConsecutiveFailures),
+			"watchdog_trips":       obs.Num(c.health.WatchdogTrips),
+		})
+	}
 }
 
 // safeAllocation pins the whole cycle at the mid-ladder entry — a
@@ -276,6 +305,7 @@ func (c *Controller) relinquish(dev platform.Device) {
 	}
 	c.health.Relinquished = true
 	c.health.WatchdogTrips++
+	c.ladderTransition(dev, "relinquished")
 	cpuGov := c.stockCPUGov
 	if cpuGov == "" {
 		cpuGov = platform.GovInteractive

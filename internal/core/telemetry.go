@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"aspeo/internal/obs"
 	"aspeo/internal/platform"
 )
 
@@ -80,6 +81,27 @@ func (c *Controller) Snapshot() CycleSnapshot {
 // control law, so a run with a subscriber is bit-identical to one
 // without.
 func (c *Controller) publishCycle(dev platform.Device) {
+	if c.opt.Trace {
+		s := c.Snapshot()
+		attrs := obs.Attrs{
+			"cycles":               obs.Num(s.Cycles),
+			"measured_gips":        s.MeasuredGIPS,
+			"target_gips":          s.TargetGIPS,
+			"speedup_setting":      s.SpeedupSetting,
+			"base_estimate_gips":   s.BaseEstimateGIPS,
+			"expected_speedup":     s.ExpectedSpeedup,
+			"mean_abs_err_gips":    s.MeanAbsErrGIPS,
+			"power_w":              s.PowerW,
+			"alloc_cache_hits":     obs.Num(s.AllocCacheHits),
+			"degraded":             s.Degraded,
+			"relinquished":         s.Health.Relinquished,
+			"consecutive_failures": obs.Num(s.Health.ConsecutiveFailures),
+		}
+		if s.Health.LastTransition != "" {
+			attrs["last_transition"] = s.Health.LastTransition
+		}
+		c.emitSpan(dev, obs.StageCycle, attrs)
+	}
 	dev.RecordHealth(c.health)
 	if c.opt.OnCycle != nil {
 		c.opt.OnCycle(c.Snapshot())

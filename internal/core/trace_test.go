@@ -1,0 +1,169 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"aspeo/internal/fault"
+	"aspeo/internal/governor"
+	"aspeo/internal/obs"
+	"aspeo/internal/sysfs"
+	"aspeo/internal/workload"
+)
+
+// Tracing is observation only: a traced run must be decision-for-decision
+// identical to an untraced run of the same seed — same allocation log,
+// same health ledger, same final estimates.
+func TestTracingDoesNotPerturbController(t *testing.T) {
+	tab := syntheticTable(0.13)
+	plan := fault.Plan{WriteFailProb: 0.2, SpikeProb: 0.05}
+	run := func(traced bool) (*Controller, []obs.Span) {
+		eng, ctl, _ := installController(t, workload.Spotify(), tab, 0.3, plan,
+			func(o *Options) { o.LogAllocations = true; o.Trace = traced })
+		var tr *obs.Trace
+		if traced {
+			tr = obs.NewTrace()
+			eng.Phone().AttachSpanSink(tr)
+		}
+		eng.Run(30*time.Second, false)
+		if tr == nil {
+			return ctl, nil
+		}
+		return ctl, tr.Spans()
+	}
+	plain, _ := run(false)
+	traced, spans := run(true)
+
+	if !reflect.DeepEqual(plain.AllocationLog(), traced.AllocationLog()) {
+		t.Fatal("tracing changed the controller's allocation decisions")
+	}
+	if plain.Health() != traced.Health() {
+		t.Fatalf("tracing changed the health ledger:\nplain  %+v\ntraced %+v",
+			plain.Health(), traced.Health())
+	}
+	if len(spans) == 0 {
+		t.Fatal("traced run emitted no spans")
+	}
+}
+
+// Every emitted span must be well formed: a known stage, a positive
+// cycle ordinal, a non-decreasing backend timestamp, and attribute
+// values restricted to the JSON-scalar contract (bool, string, float64).
+func TestSpanWellformedness(t *testing.T) {
+	tab := syntheticTable(0.13)
+	eng, _, _ := installController(t, workload.Spotify(), tab, 0.3, fault.Plan{},
+		func(o *Options) { o.Trace = true })
+	tr := obs.NewTrace()
+	eng.Phone().AttachSpanSink(tr)
+	eng.Run(20*time.Second, false)
+
+	spans := tr.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans emitted")
+	}
+	valid := map[string]bool{
+		obs.StageCycle: true, obs.StageMeasure: true, obs.StageKalman: true,
+		obs.StageOptimize: true, obs.StageSchedule: true, obs.StageLadder: true,
+	}
+	stageSeen := map[string]bool{}
+	var prevAt time.Duration
+	for i, s := range spans {
+		if !valid[s.Stage] {
+			t.Fatalf("span %d has unknown stage %q", i, s.Stage)
+		}
+		stageSeen[s.Stage] = true
+		if s.Cycle < 1 {
+			t.Fatalf("span %d has cycle %d", i, s.Cycle)
+		}
+		if s.At < prevAt {
+			t.Fatalf("span %d timestamp went backward: %v after %v", i, s.At, prevAt)
+		}
+		prevAt = s.At
+		for k, v := range s.Attrs {
+			switch v.(type) {
+			case bool, string, float64:
+			default:
+				t.Fatalf("span %d attr %q has non-canonical type %T", i, k, v)
+			}
+		}
+	}
+	for _, stage := range []string{obs.StageCycle, obs.StageMeasure,
+		obs.StageKalman, obs.StageOptimize, obs.StageSchedule} {
+		if !stageSeen[stage] {
+			t.Fatalf("healthy run never emitted a %q span", stage)
+		}
+	}
+}
+
+// A run that walks the degradation ladder must narrate it: ladder spans
+// for degrade and relinquish, gate verdicts on rejected measurements,
+// safe-schedule spans while degraded — and the health ledger's
+// LastTransition must record the final rung.
+func TestLadderSpansUnderForcedFaults(t *testing.T) {
+	tab := syntheticTable(0.13)
+	plan := fault.Plan{StuckFiles: []fault.StuckFile{
+		{Path: sysfs.CPUScalingSetSpeed, From: 6 * time.Second},
+	}}
+	eng, ctl, _ := installController(t, workload.Spotify(), tab, 0.3, plan,
+		func(o *Options) { o.Trace = true })
+	governor.Defaults(eng)
+	rec := obs.NewRecorder(0) // the flight recorder is a plain sink
+	eng.Phone().AttachSpanSink(rec)
+	eng.Run(60*time.Second, false)
+
+	if !ctl.Health().Relinquished {
+		t.Fatal("scenario never relinquished; test proves nothing")
+	}
+	if lt := ctl.Health().LastTransition; !strings.HasPrefix(lt, "relinquished@") {
+		t.Fatalf("LastTransition = %q, want relinquished@<cycle>", lt)
+	}
+
+	sum := obs.Summarize(rec.Snapshot())
+	var sawDegraded, sawRelinquished bool
+	for _, tr := range sum.LadderTransitions {
+		if strings.HasPrefix(tr, "degraded@") {
+			sawDegraded = true
+		}
+		if strings.HasPrefix(tr, "relinquished@") {
+			sawRelinquished = true
+		}
+	}
+	if !sawDegraded || !sawRelinquished {
+		t.Fatalf("ladder transitions %v missing degrade or relinquish", sum.LadderTransitions)
+	}
+	var sawSafe bool
+	for _, s := range rec.Snapshot() {
+		if s.Stage == obs.StageSchedule && s.Attrs["safe"] == true {
+			sawSafe = true
+			break
+		}
+	}
+	if !sawSafe {
+		t.Fatal("degraded cycles never emitted a safe-schedule span")
+	}
+}
+
+// Gate rejections must carry their verdict into the measure span.
+func TestGateVerdictInMeasureSpan(t *testing.T) {
+	tab := syntheticTable(0.13)
+	plan := fault.Plan{SpikeProb: 0.3}
+	eng, ctl, _ := installController(t, workload.Spotify(), tab, 0.3, plan,
+		func(o *Options) { o.Trace = true })
+	tr := obs.NewTrace()
+	eng.Phone().AttachSpanSink(tr)
+	eng.Run(40*time.Second, false)
+
+	if ctl.Health().RejectedSamples == 0 {
+		t.Fatal("scenario never gated a sample; test proves nothing")
+	}
+	for _, s := range tr.Spans() {
+		if s.Stage == obs.StageMeasure {
+			if v, ok := s.Attrs["gate_verdict"].(string); ok && v != "" {
+				return
+			}
+		}
+	}
+	t.Fatal("no measure span carries a gate_verdict despite rejections")
+}

@@ -9,6 +9,7 @@ import (
 	"aspeo/internal/core"
 	"aspeo/internal/fault"
 	"aspeo/internal/governor"
+	"aspeo/internal/obs"
 	"aspeo/internal/perftool"
 	"aspeo/internal/platform"
 	"aspeo/internal/profile"
@@ -66,6 +67,12 @@ type SessionSpec struct {
 	// OnCycle subscribes to the controller's per-cycle telemetry
 	// (controller mode only; see core.Options.OnCycle for the contract).
 	OnCycle func(core.CycleSnapshot)
+	// Trace receives the controller's per-stage decision spans
+	// (controller mode only). A non-nil sink turns on decision tracing
+	// (core.Options.Trace) and is attached to the cell's telemetry
+	// surface; tracing is observation only, so a traced run is
+	// bit-identical to an untraced one.
+	Trace obs.Sink
 	// Logf receives informational progress messages ("profiling...");
 	// nil is silent.
 	Logf func(format string, args ...any)
@@ -179,6 +186,7 @@ func NewSession(spec SessionSpec) (*Session, error) {
 			opts.LogAllocations = spec.LogAllocations
 			opts.Resilience = spec.Resilience
 			opts.OnCycle = spec.OnCycle
+			opts.Trace = spec.Trace != nil
 			ctl, err := core.New(opts)
 			if err != nil {
 				return err
@@ -234,6 +242,9 @@ func NewSession(spec SessionSpec) (*Session, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if spec.Trace != nil {
+		h.Phone.AttachSpanSink(spec.Trace)
 	}
 	s.Harness = h
 	return s, nil

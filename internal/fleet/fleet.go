@@ -35,6 +35,7 @@ import (
 
 	"aspeo/internal/core"
 	"aspeo/internal/experiment"
+	"aspeo/internal/obs"
 	"aspeo/internal/par"
 	"aspeo/internal/platform"
 	"aspeo/internal/report"
@@ -135,6 +136,14 @@ type Options struct {
 	Workers int
 	// Queue is the submission backlog capacity (<= 0 selects 1024).
 	Queue int
+	// FlightCap sizes each controller session's flight recorder — the
+	// bounded ring of recent decision spans kept for postmortems. 0
+	// selects obs.DefaultFlightCap; negative disables flight recording.
+	FlightCap int
+	// FlightDir, when set, receives automatic flight-recorder dumps
+	// (NDJSON, one file per escalated attempt) whenever a session's
+	// watchdog ladder escalates or the controller relinquishes.
+	FlightDir string
 }
 
 // numShards spreads the session store over independently locked maps so
@@ -151,6 +160,7 @@ type shard struct {
 // telemetry aggregator. Safe for concurrent use.
 type Manager struct {
 	pool   *par.Pool
+	opts   Options
 	shards [numShards]shard
 
 	seq       atomic.Uint64 // session ordinal source
@@ -159,17 +169,32 @@ type Manager struct {
 	draining  atomic.Bool
 
 	agg aggregator
+
+	// reg is the manager's long-lived metrics registry: rollup families
+	// refreshed at scrape time plus live instruments fed from session
+	// telemetry (the measured-GIPS histogram below).
+	reg      *obs.Registry
+	gipsHist obs.Histogram
 }
 
 // NewManager starts the worker pool and returns a ready manager.
 func NewManager(o Options) *Manager {
-	m := &Manager{pool: par.NewPool(o.Workers, o.Queue)}
+	m := &Manager{pool: par.NewPool(o.Workers, o.Queue), opts: o}
 	for i := range m.shards {
 		m.shards[i].m = make(map[string]*session)
 	}
 	m.agg.start = time.Now()
+	m.reg = obs.NewRegistry()
+	m.gipsHist = m.reg.Histogram("aspeo_fleet_measured_gips",
+		"Per-cycle measured performance across all controller sessions.",
+		[]float64{0.25, 0.5, 1, 2, 4, 8, 16, 32})
 	return m
 }
+
+// Registry returns the manager's metrics registry. The /metrics handler
+// refreshes the rollup families onto it (report.RollupMetrics) and
+// renders it; callers may register additional process-level instruments.
+func (m *Manager) Registry() *obs.Registry { return m.reg }
 
 // Errors the control plane maps to HTTP statuses.
 var (
@@ -284,6 +309,24 @@ func (m *Manager) WaitSession(ctx context.Context, id string) (SessionView, erro
 	case <-ctx.Done():
 		return s.view(), ctx.Err()
 	}
+}
+
+// TraceSnapshot returns the session's flight-recorder content — the most
+// recent decision spans, oldest first — live or terminal. It is empty
+// for governor sessions, before the first cycle, or when flight
+// recording is disabled (Options.FlightCap < 0).
+func (m *Manager) TraceSnapshot(id string) ([]obs.Span, error) {
+	s, err := m.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	rec := s.flight
+	s.mu.Unlock()
+	if rec == nil {
+		return nil, nil
+	}
+	return rec.Snapshot(), nil
 }
 
 // AllocationLog returns a completed session's controller decision log

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"aspeo/internal/obs"
 	"aspeo/internal/par"
 	"aspeo/internal/report"
 )
@@ -20,6 +21,7 @@ import (
 //	GET  /api/v1/sessions/{id}       inspect one session
 //	POST /api/v1/sessions/{id}/stop  cooperative stop
 //	GET  /api/v1/sessions/{id}/stream  NDJSON live status
+//	GET  /api/v1/sessions/{id}/trace   NDJSON flight-recorder snapshot
 //	GET  /api/v1/rollup              fleet-wide rollup (JSON)
 //	POST /api/v1/drain               stop intake, wait for the fleet
 //	GET  /metrics                    Prometheus text exposition
@@ -52,6 +54,16 @@ func NewServer(m *Manager) http.Handler {
 	mux.HandleFunc("GET /api/v1/sessions/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
 		handleStream(m, w, r)
 	})
+	mux.HandleFunc("GET /api/v1/sessions/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		spans, err := m.TraceSnapshot(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		_ = obs.WriteNDJSON(w, spans)
+	})
 	mux.HandleFunc("GET /api/v1/rollup", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Rollup())
 	})
@@ -63,8 +75,12 @@ func NewServer(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, m.Rollup())
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		report.PrometheusMetrics(w, m.Rollup())
+		// Refresh the rollup families on the manager's long-lived
+		// registry, then render everything on it — rollup and live
+		// instruments alike — through the one text encoder.
+		report.RollupMetrics(m.Registry(), m.Rollup())
+		w.Header().Set("Content-Type", obs.ContentType)
+		_ = m.Registry().WriteText(w)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		status := "ok"

@@ -1,12 +1,16 @@
 package fleet
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"aspeo/internal/core"
 	"aspeo/internal/experiment"
+	"aspeo/internal/obs"
 	"aspeo/internal/report"
 )
 
@@ -37,6 +41,8 @@ type session struct {
 	lastSnap    *core.CycleSnapshot
 	summary     *report.RunSummary
 	allocLog    []core.AllocationRecord
+	flight      *obs.Recorder // current attempt's flight recorder
+	flightDump  string        // path of the last automatic NDJSON dump
 
 	done chan struct{} // closed on terminal state
 }
@@ -61,6 +67,9 @@ type SessionView struct {
 	// Summary is the run's final record, present once terminal (partial
 	// for stopped sessions).
 	Summary *report.RunSummary `json:"summary,omitempty"`
+	// FlightDump is the path of the automatic flight-recorder dump, set
+	// when an attempt escalated and the manager has a dump directory.
+	FlightDump string `json:"flight_dump,omitempty"`
 
 	seq uint64 // ordering key for List
 }
@@ -71,7 +80,7 @@ func (s *session) view() SessionView {
 	v := SessionView{
 		ID: s.id, State: s.state, Config: s.cfg,
 		Restarts: s.restarts, Error: s.errMsg,
-		SubmittedAt: s.submittedAt, seq: s.seq,
+		SubmittedAt: s.submittedAt, FlightDump: s.flightDump, seq: s.seq,
 	}
 	if !s.startedAt.IsZero() {
 		t := s.startedAt
@@ -140,8 +149,21 @@ func (m *Manager) runAttempt(s *session, attempt int) (failure string) {
 	spec := s.cfg.spec(s.cfg.Seed + int64(attempt)*restartSeedStride)
 	spec.OnCycle = func(cs core.CycleSnapshot) {
 		m.agg.observeCycle()
+		m.gipsHist.Observe(cs.MeasuredGIPS)
 		s.mu.Lock()
 		s.lastSnap = &cs
+		s.mu.Unlock()
+	}
+
+	// Each controller attempt gets a fresh flight recorder: the bounded
+	// ring of recent decision spans, readable live (TraceSnapshot / the
+	// trace endpoint) and dumped to FlightDir when the attempt escalates.
+	var rec *obs.Recorder
+	if s.cfg.Controller && m.opts.FlightCap >= 0 {
+		rec = obs.NewRecorder(m.opts.FlightCap)
+		spec.Trace = rec
+		s.mu.Lock()
+		s.flight = rec
 		s.mu.Unlock()
 	}
 
@@ -159,10 +181,39 @@ func (m *Manager) runAttempt(s *session, attempt int) (failure string) {
 	}
 	s.mu.Unlock()
 
+	if rec != nil {
+		if c := sum.Controller; c != nil && (c.Health.WatchdogTrips > 0 || c.Health.Relinquished) {
+			m.dumpFlight(s, attempt, rec)
+		}
+	}
 	if c := sum.Controller; c != nil && c.Health.Relinquished {
 		return "controller relinquished the device"
 	}
 	return ""
+}
+
+// dumpFlight writes the attempt's flight-recorder content to the
+// manager's dump directory (best effort — a dump failure never fails the
+// session) and records the path in the session's status.
+func (m *Manager) dumpFlight(s *session, attempt int, rec *obs.Recorder) {
+	if m.opts.FlightDir == "" {
+		return
+	}
+	path := filepath.Join(m.opts.FlightDir, fmt.Sprintf("%s-a%d.trace.ndjson", s.id, attempt))
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	werr := rec.WriteNDJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return
+	}
+	s.mu.Lock()
+	s.flightDump = path
+	s.mu.Unlock()
 }
 
 // finish lands the session in a terminal state exactly once.

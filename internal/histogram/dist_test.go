@@ -1,0 +1,68 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDistBucketing(t *testing.T) {
+	d := NewDist([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 9} {
+		d.Observe(v)
+	}
+	// Boundary values land in their own bucket (v <= bound).
+	wantCum := []uint64{2, 3, 4}
+	for i, want := range wantCum {
+		if got := d.Cumulative(i); got != want {
+			t.Fatalf("Cumulative(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if d.Cumulative(len(wantCum)) != 5 {
+		t.Fatalf("+Inf cumulative = %d, want 5", d.Cumulative(len(wantCum)))
+	}
+	if d.Total() != 5 || d.Sum() != 15 {
+		t.Fatalf("Total=%d Sum=%v, want 5/15", d.Total(), d.Sum())
+	}
+}
+
+func TestDistIgnoresNaN(t *testing.T) {
+	d := NewDist([]float64{1})
+	d.Observe(math.NaN())
+	d.Observe(0.5)
+	if d.Total() != 1 {
+		t.Fatalf("Total = %d after one NaN and one real observation, want 1", d.Total())
+	}
+}
+
+func TestDistBoundsCopied(t *testing.T) {
+	in := []float64{1, 2}
+	d := NewDist(in)
+	in[0] = 99
+	if b := d.Bounds(); b[0] != 1 {
+		t.Fatal("Dist aliased the caller's bounds slice")
+	}
+	out := d.Bounds()
+	out[1] = 99
+	if b := d.Bounds(); b[1] != 2 {
+		t.Fatal("Bounds returned an aliased slice")
+	}
+}
+
+func TestDistInvalidBoundsPanic(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"empty":          {},
+		"non-increasing": {1, 1},
+		"descending":     {2, 1},
+		"nan":            {math.NaN()},
+		"inf":            {math.Inf(1)},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid bounds did not panic")
+				}
+			}()
+			NewDist(bounds)
+		})
+	}
+}

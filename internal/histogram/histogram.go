@@ -90,6 +90,78 @@ func (r *Residency) TopShare(k int) float64 {
 	return s
 }
 
+// Dist is a fixed-bucket distribution of scalar observations — the
+// bucket/sum/count shape Prometheus histograms expose, kept here beside
+// Residency so every histogram in the repo shares one home. A value v
+// lands in the first bucket whose upper bound satisfies v <= bound;
+// values above every bound land in the implicit +Inf overflow bucket.
+type Dist struct {
+	bounds []float64 // strictly increasing upper bounds
+	counts []uint64  // len(bounds)+1; last is the +Inf overflow
+	sum    float64
+	n      uint64
+}
+
+// NewDist creates a distribution over the given upper bounds, which must
+// be finite and strictly increasing. Like New, invalid bounds panic:
+// they are a programming error, not bad input.
+func NewDist(bounds []float64) *Dist {
+	if len(bounds) == 0 {
+		panic("histogram: Dist needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if b != b || b > 1e308 || b < -1e308 {
+			panic(fmt.Sprintf("histogram: Dist bound %v not finite", b))
+		}
+		if i > 0 && bounds[i-1] >= b {
+			panic(fmt.Sprintf("histogram: Dist bounds not increasing at %d", i))
+		}
+	}
+	own := make([]float64, len(bounds))
+	copy(own, bounds)
+	return &Dist{bounds: own, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe accounts one value. NaN observations are ignored.
+func (d *Dist) Observe(v float64) {
+	if v != v {
+		return
+	}
+	i := len(d.bounds) // overflow bucket
+	for j, b := range d.bounds {
+		if v <= b {
+			i = j
+			break
+		}
+	}
+	d.counts[i]++
+	d.sum += v
+	d.n++
+}
+
+// Bounds returns the configured upper bounds (excluding +Inf).
+func (d *Dist) Bounds() []float64 {
+	out := make([]float64, len(d.bounds))
+	copy(out, d.bounds)
+	return out
+}
+
+// Cumulative returns the count of observations <= bounds[i]; i ==
+// len(bounds) returns the total (the +Inf bucket).
+func (d *Dist) Cumulative(i int) uint64 {
+	var c uint64
+	for j := 0; j <= i && j < len(d.counts); j++ {
+		c += d.counts[j]
+	}
+	return c
+}
+
+// Total returns the observation count.
+func (d *Dist) Total() uint64 { return d.n }
+
+// Sum returns the sum of all observed values.
+func (d *Dist) Sum() float64 { return d.sum }
+
 // Render draws the histogram as ASCII art, one row per ladder index
 // (1-based labels, like the paper's figures).
 func (r *Residency) Render(width int) string {

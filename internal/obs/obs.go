@@ -1,0 +1,253 @@
+// Package obs is the runtime's observability layer: a structured
+// decision-trace model (spans), a deterministic bounded flight recorder,
+// and a metrics registry with a Prometheus text encoder.
+//
+// The controller's four-stage decision every control cycle — perf
+// measurement, Kalman base-speed update, LP/frontier solve, dwell
+// scheduling — used to be opaque: the only windows into it were the
+// end-of-cycle CycleSnapshot and hand-rolled metric text. The span model
+// makes each stage a first-class record with typed attributes, so "the
+// run was 7% over the energy baseline" becomes "the Kalman variance
+// collapsed at cycle 41".
+//
+// Determinism contract: nothing in this package reads the wall clock or
+// any other ambient state. Span timestamps are backend-clock values
+// supplied by the emitter, ring-buffer eviction depends only on emission
+// order, and NDJSON encoding is canonical (sorted attribute keys,
+// shortest float form) — so two runs of the same seed produce
+// byte-identical traces, and a trace survives a write/read round trip
+// losslessly. Emission is observation-only by construction: a Sink can
+// see controller state but has no handle to change it.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Stage names of the controller's per-cycle decision spans. One "cycle"
+// span summarizes the whole control cycle; the others are its children,
+// emitted in decision order. "ladder" spans appear only on resilience
+// ladder transitions.
+const (
+	StageCycle    = "cycle"    // end-of-cycle summary (parent span)
+	StageMeasure  = "measure"  // perf window consumption + fault gate
+	StageKalman   = "kalman"   // base-speed filter update
+	StageOptimize = "optimize" // LP/frontier/cache energy solve
+	StageSchedule = "schedule" // two-configuration dwell plan
+	StageLadder   = "ladder"   // resilience ladder transition event
+)
+
+// Attrs is a span's typed attribute set. Values are restricted to JSON
+// scalars — bool, string, and float64 (use Num for any numeric) — so
+// every span is losslessly NDJSON-round-trippable and two traces compare
+// value-for-value regardless of which side was decoded from disk.
+type Attrs map[string]any
+
+// Num canonicalizes a numeric attribute value: all numbers are stored as
+// float64, matching what a JSON decode produces, so in-memory and
+// round-tripped traces diff cleanly. Exact for integers up to 2⁵³.
+func Num[T ~int | ~int64 | ~float64](v T) float64 { return float64(v) }
+
+// Span is one record of the decision trace: a stage of one control
+// cycle (or a ladder event within it), stamped with the backend clock —
+// never the wall clock, so seeded runs trace identically.
+type Span struct {
+	// Cycle is the control-cycle ordinal (1 = first cycle).
+	Cycle int `json:"cycle"`
+	// Stage names the decision stage (Stage* constants).
+	Stage string `json:"stage"`
+	// At is the backend clock when the span was emitted.
+	At time.Duration `json:"at_ns"`
+	// Attrs carries the stage's typed attributes.
+	Attrs Attrs `json:"attrs,omitempty"`
+}
+
+// Sink receives emitted spans. Implementations must treat spans as
+// read-only observations; Emit must be cheap enough to call several
+// times per control cycle.
+type Sink interface {
+	Emit(Span)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Span)
+
+// Emit implements Sink.
+func (f SinkFunc) Emit(s Span) { f(s) }
+
+// Tee fans one emission out to several sinks, in order. Nil sinks are
+// skipped — including typed nils like a nil *Trace or *Recorder hiding
+// inside the interface, the classic trap when sinks are assembled from
+// optional flags.
+func Tee(sinks ...Sink) Sink {
+	kept := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		switch v := s.(type) {
+		case nil:
+		case *Trace:
+			if v != nil {
+				kept = append(kept, s)
+			}
+		case *Recorder:
+			if v != nil {
+				kept = append(kept, s)
+			}
+		default:
+			kept = append(kept, s)
+		}
+	}
+	return SinkFunc(func(s Span) {
+		for _, snk := range kept {
+			snk.Emit(s)
+		}
+	})
+}
+
+// Trace is an unbounded span collector — the full decision trace of one
+// run, as written by `aspeo-run -trace-out` and consumed by
+// `aspeo-trace`. Safe for concurrent emission.
+type Trace struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace returns an empty trace collector.
+func NewTrace() *Trace { return &Trace{} }
+
+// Emit implements Sink.
+func (t *Trace) Emit(s Span) {
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the collected spans in emission order.
+func (t *Trace) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// WriteNDJSON dumps the trace as NDJSON.
+func (t *Trace) WriteNDJSON(w io.Writer) error { return WriteNDJSON(w, t.Spans()) }
+
+// DefaultFlightCap is the flight recorder's default ring capacity:
+// roughly 700 control cycles of full-verbosity tracing — minutes of
+// history around a failure, at a few hundred kilobytes per session.
+const DefaultFlightCap = 4096
+
+// Recorder is the flight recorder: a bounded ring buffer of the most
+// recent spans, dumped as NDJSON when something goes wrong (watchdog
+// escalation, session failure) or on demand. Eviction is purely
+// count-based — no wall-clock reads — so a seeded run's ring content is
+// deterministic. Safe for concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	buf     []Span
+	next    int    // write position
+	n       int    // live spans (== len(buf) once wrapped)
+	total   uint64 // spans ever emitted
+	dropped uint64 // spans evicted by the ring bound
+}
+
+// NewRecorder returns a flight recorder holding the last capacity spans
+// (<= 0 selects DefaultFlightCap).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCap
+	}
+	return &Recorder{buf: make([]Span, capacity)}
+}
+
+// Emit implements Sink: the span enters the ring, evicting the oldest
+// once full.
+func (r *Recorder) Emit(s Span) {
+	r.mu.Lock()
+	if r.n == len(r.buf) {
+		r.dropped++
+	} else {
+		r.n++
+	}
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % len(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the ring's current content, oldest first.
+func (r *Recorder) Snapshot() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Total returns how many spans were ever emitted into the recorder.
+func (r *Recorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dropped returns how many spans the ring bound evicted.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// WriteNDJSON dumps the ring's current content as NDJSON, oldest first.
+func (r *Recorder) WriteNDJSON(w io.Writer) error { return WriteNDJSON(w, r.Snapshot()) }
+
+// WriteNDJSON writes spans as NDJSON: one JSON object per line, attribute
+// keys sorted (encoding/json sorts map keys), floats in shortest form —
+// the canonical flight-recorder dump format.
+func WriteNDJSON(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range spans {
+		if err := enc.Encode(spans[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNDJSON reads a span stream written by WriteNDJSON. Blank lines are
+// skipped; a malformed line fails with its line number.
+func ReadNDJSON(r io.Reader) ([]Span, error) {
+	var spans []Span
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var s Span
+		if err := json.Unmarshal(b, &s); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		spans = append(spans, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return spans, nil
+}

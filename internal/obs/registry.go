@@ -1,0 +1,372 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"aspeo/internal/histogram"
+)
+
+// Registry is a set of named counters, gauges and histograms with a
+// Prometheus text-exposition encoder (format version 0.0.4) — the typed
+// replacement for hand-rolled fmt.Fprintf metric assembly. Registration
+// is get-or-create and idempotent: asking for an existing name returns
+// the existing metric, so scrape-time refresh code can re-resolve
+// handles without bookkeeping. Names, types and label arity are
+// validated; a conflicting re-registration panics (a programming error,
+// like histogram.New's bucket check).
+//
+// Safe for concurrent use. Exposition output is deterministic: families
+// appear in registration order, series within a family sorted by label
+// values.
+type Registry struct {
+	mu      sync.Mutex
+	ordered []*family
+	byName  map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+type metricType string
+
+const (
+	typeCounter   metricType = "counter"
+	typeGauge     metricType = "gauge"
+	typeHistogram metricType = "histogram"
+)
+
+// family is one metric name: its metadata plus all labeled series.
+type family struct {
+	name   string
+	help   string
+	typ    metricType
+	labels []string
+
+	mu     sync.Mutex
+	series map[string]*value // canonical label-values key -> series
+	order  []string          // insertion order of keys (sorted at write)
+	bounds []float64         // histogram bucket bounds
+}
+
+// value is one series: a scalar for counters/gauges, a Dist for
+// histograms. The owning family's mutex guards it.
+type value struct {
+	labelValues []string
+	f           *family
+	scalar      float64
+	dist        *histogram.Dist
+}
+
+func (r *Registry) register(name, help string, typ metricType, labels []string, bounds []float64) *family {
+	validateName(name, "metric")
+	for _, l := range labels {
+		validateName(l, "label")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s(%d labels), was %s(%d labels)",
+				name, typ, len(labels), f.typ, len(f.labels)))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("obs: metric %s re-registered with label %q, was %q",
+					name, labels[i], f.labels[i]))
+			}
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ, labels: labels,
+		series: make(map[string]*value), bounds: bounds}
+	r.byName[name] = f
+	r.ordered = append(r.ordered, f)
+	return f
+}
+
+func validateName(s, what string) {
+	if s == "" {
+		panic("obs: empty " + what + " name")
+	}
+	for i, c := range s {
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9') || (what == "metric" && c == ':')
+		if !ok {
+			panic(fmt.Sprintf("obs: invalid %s name %q", what, s))
+		}
+	}
+}
+
+func (f *family) get(labelValues ...string) *value {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d",
+			f.name, len(f.labels), len(labelValues)))
+	}
+	key := canonicalKey(labelValues)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if v, ok := f.series[key]; ok {
+		return v
+	}
+	own := make([]string, len(labelValues))
+	copy(own, labelValues)
+	v := &value{labelValues: own, f: f}
+	if f.typ == typeHistogram {
+		v.dist = histogram.NewDist(f.bounds)
+	}
+	f.series[key] = v
+	f.order = append(f.order, key)
+	return v
+}
+
+func canonicalKey(values []string) string {
+	escaped := make([]string, len(values))
+	for i, v := range values {
+		escaped[i] = escapeLabelValue(v)
+	}
+	return strings.Join(escaped, "\x00")
+}
+
+// Counter is a monotonically increasing metric. Set exists for
+// scrape-time refresh from an externally aggregated total (the fleet
+// rollup); live instrumentation should use Add/Inc.
+type Counter struct{ v *value }
+
+// Add increases the counter; negative deltas are ignored.
+func (c Counter) Add(d float64) {
+	if d < 0 {
+		return
+	}
+	c.v.f.mu.Lock()
+	c.v.scalar += d
+	c.v.f.mu.Unlock()
+}
+
+// Inc adds 1.
+func (c Counter) Inc() { c.Add(1) }
+
+// Set overwrites the counter with an externally aggregated total.
+func (c Counter) Set(total float64) {
+	c.v.f.mu.Lock()
+	c.v.scalar = total
+	c.v.f.mu.Unlock()
+}
+
+// Value returns the current total.
+func (c Counter) Value() float64 {
+	c.v.f.mu.Lock()
+	defer c.v.f.mu.Unlock()
+	return c.v.scalar
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v *value }
+
+// Set overwrites the gauge.
+func (g Gauge) Set(x float64) {
+	g.v.f.mu.Lock()
+	g.v.scalar = x
+	g.v.f.mu.Unlock()
+}
+
+// Add adjusts the gauge by d (may be negative).
+func (g Gauge) Add(d float64) {
+	g.v.f.mu.Lock()
+	g.v.scalar += d
+	g.v.f.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g Gauge) Value() float64 {
+	g.v.f.mu.Lock()
+	defer g.v.f.mu.Unlock()
+	return g.v.scalar
+}
+
+// Histogram is a fixed-bucket distribution metric backed by
+// histogram.Dist, exposed as the standard _bucket/_sum/_count triple.
+type Histogram struct{ v *value }
+
+// Observe accounts one value.
+func (h Histogram) Observe(x float64) {
+	h.v.f.mu.Lock()
+	h.v.dist.Observe(x)
+	h.v.f.mu.Unlock()
+}
+
+// Count returns the observation count.
+func (h Histogram) Count() uint64 {
+	h.v.f.mu.Lock()
+	defer h.v.f.mu.Unlock()
+	return h.v.dist.Total()
+}
+
+// Counter returns (registering on first use) the unlabeled counter name.
+func (r *Registry) Counter(name, help string) Counter {
+	return Counter{r.register(name, help, typeCounter, nil, nil).get()}
+}
+
+// Gauge returns (registering on first use) the unlabeled gauge name.
+func (r *Registry) Gauge(name, help string) Gauge {
+	return Gauge{r.register(name, help, typeGauge, nil, nil).get()}
+}
+
+// Histogram returns (registering on first use) the unlabeled histogram
+// name over the given strictly increasing upper bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64) Histogram {
+	return Histogram{r.register(name, help, typeHistogram, nil, bounds).get()}
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// CounterVec returns (registering on first use) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) CounterVec {
+	return CounterVec{r.register(name, help, typeCounter, labels, nil)}
+}
+
+// With resolves the series for one label-value tuple (one value per
+// label name, in declaration order).
+func (v CounterVec) With(labelValues ...string) Counter {
+	return Counter{v.f.get(labelValues...)}
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec returns (registering on first use) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) GaugeVec {
+	return GaugeVec{r.register(name, help, typeGauge, labels, nil)}
+}
+
+// With resolves the series for one label-value tuple.
+func (v GaugeVec) With(labelValues ...string) Gauge {
+	return Gauge{v.f.get(labelValues...)}
+}
+
+// WriteText renders the registry in the Prometheus text exposition
+// format: # HELP and # TYPE lines per family, label values escaped per
+// the spec (backslash, double-quote, newline).
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.ordered))
+	copy(fams, r.ordered)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if err := f.writeText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ContentType is the HTTP Content-Type of WriteText output.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+func (f *family) writeText(w io.Writer) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.order) == 0 {
+		return nil
+	}
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+		return err
+	}
+	keys := make([]string, len(f.order))
+	copy(keys, f.order)
+	sort.Strings(keys)
+	for _, key := range keys {
+		v := f.series[key]
+		if err := f.writeSeries(w, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeSeries(w io.Writer, v *value) error {
+	if f.typ == typeHistogram {
+		base := labelPairs(f.labels, v.labelValues)
+		for i, b := range v.dist.Bounds() {
+			le := strconv.FormatFloat(b, 'g', -1, 64)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, withLE(base, le), v.dist.Cumulative(i)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.name, withLE(base, "+Inf"), v.dist.Total()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, renderLabels(base),
+			formatValue(v.dist.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, renderLabels(base), v.dist.Total())
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s%s %s\n", f.name,
+		renderLabels(labelPairs(f.labels, v.labelValues)), formatValue(v.scalar))
+	return err
+}
+
+func labelPairs(names, values []string) []string {
+	pairs := make([]string, len(names))
+	for i := range names {
+		pairs[i] = names[i] + `="` + escapeLabelValue(values[i]) + `"`
+	}
+	return pairs
+}
+
+func withLE(base []string, le string) string {
+	return renderLabels(append(append([]string{}, base...), `le="`+le+`"`))
+}
+
+func renderLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+func formatValue(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double-quote and line feed.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and line feed.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestRegistryCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Operations.")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotonic
+	g := r.Gauge("test_depth", "Queue depth.")
+	g.Set(4)
+	g.Add(-1.5)
+
+	out := render(t, r)
+	want := "# HELP test_ops_total Operations.\n" +
+		"# TYPE test_ops_total counter\n" +
+		"test_ops_total 3\n" +
+		"# HELP test_depth Queue depth.\n" +
+		"# TYPE test_depth gauge\n" +
+		"test_depth 2.5\n"
+	if out != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total", "").Add(1)
+	r.Counter("test_total", "").Add(1) // same handle, not a reset
+	if v := r.Counter("test_total", "").Value(); v != 2 {
+		t.Fatalf("re-registered counter = %v, want accumulated 2", v)
+	}
+	// Set supports scrape-time refresh from an external aggregate.
+	r.Counter("test_total", "").Set(7)
+	if v := r.Counter("test_total", "").Value(); v != 7 {
+		t.Fatalf("Set = %v, want 7", v)
+	}
+}
+
+func TestRegistryConflictPanics(t *testing.T) {
+	for name, f := range map[string]func(*Registry){
+		"type":        func(r *Registry) { r.Counter("m", ""); r.Gauge("m", "") },
+		"label-arity": func(r *Registry) { r.GaugeVec("m", "", "a"); r.GaugeVec("m", "", "a", "b") },
+		"label-names": func(r *Registry) { r.GaugeVec("m", "", "a"); r.GaugeVec("m", "", "b") },
+		"bad-name":    func(r *Registry) { r.Counter("bad metric", "") },
+		"bad-label":   func(r *Registry) { r.GaugeVec("m", "", "bad label") },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("conflicting registration did not panic")
+				}
+			}()
+			f(NewRegistry())
+		})
+	}
+}
+
+func TestRegistryLabelsAndEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("test_sessions", "Sessions by state.", "state")
+	v.With("completed").Set(8)
+	v.With(`we"ird\state` + "\n").Set(1)
+
+	out := render(t, r)
+	if !strings.Contains(out, `test_sessions{state="completed"} 8`) {
+		t.Fatalf("plain label series missing:\n%s", out)
+	}
+	if !strings.Contains(out, `test_sessions{state="we\"ird\\state\n"} 1`) {
+		t.Fatalf("escaped label series missing:\n%s", out)
+	}
+	// Series are sorted by label value for deterministic scrapes.
+	first, second := strings.Index(out, `state="completed"`), strings.Index(out, `state="we`)
+	if first > second {
+		t.Fatalf("series not sorted:\n%s", out)
+	}
+}
+
+func TestRegistryHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total", "line one\nwith \\ backslash").Inc()
+	out := render(t, r)
+	if !strings.Contains(out, `# HELP test_total line one\nwith \\ backslash`) {
+		t.Fatalf("HELP not escaped:\n%s", out)
+	}
+}
+
+func TestRegistryHistogramEncoding(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 0.5, 1})
+	// Dyadic observations keep the sum exact in float64, so the expected
+	// exposition is byte-stable.
+	for _, v := range []float64{0.0625, 0.25, 0.75, 2.5} {
+		h.Observe(v)
+	}
+	out := render(t, r)
+	want := "# HELP test_latency_seconds Latency.\n" +
+		"# TYPE test_latency_seconds histogram\n" +
+		"test_latency_seconds_bucket{le=\"0.1\"} 1\n" +
+		"test_latency_seconds_bucket{le=\"0.5\"} 2\n" +
+		"test_latency_seconds_bucket{le=\"1\"} 3\n" +
+		"test_latency_seconds_bucket{le=\"+Inf\"} 4\n" +
+		"test_latency_seconds_sum 3.5625\n" +
+		"test_latency_seconds_count 4\n"
+	if out != want {
+		t.Fatalf("histogram exposition:\n%s\nwant:\n%s", out, want)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", h.Count())
+	}
+}
+
+func TestRegistryEmptyFamiliesOmitted(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeVec("test_sessions", "never resolved", "state")
+	if out := render(t, r); out != "" {
+		t.Fatalf("family with no series rendered:\n%s", out)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("test_total", "")
+			h := r.Histogram("test_hist", "", []float64{1, 2})
+			v := r.GaugeVec("test_vec", "", "w")
+			for i := 0; i < 200; i++ {
+				c.Inc()
+				h.Observe(float64(i % 3))
+				v.With(string(rune('a' + w))).Set(float64(i))
+				var buf bytes.Buffer
+				if i%50 == 0 {
+					_ = r.WriteText(&buf)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v := r.Counter("test_total", "").Value(); v != 1600 {
+		t.Fatalf("counter = %v after concurrent increments, want 1600", v)
+	}
+}

@@ -29,6 +29,7 @@ package platform
 import (
 	"time"
 
+	"aspeo/internal/obs"
 	"aspeo/internal/pmu"
 	"aspeo/internal/soc"
 	"aspeo/internal/sysfs"
@@ -161,6 +162,12 @@ type Health struct {
 	// Relinquished is set once control is handed back to the stock
 	// governors; the controller stops actuating for good.
 	Relinquished bool `json:"relinquished"`
+	// LastTransition names the most recent ladder transition and the
+	// control cycle it fired on ("degraded@41", "recovered@44",
+	// "relinquished@52"); empty until a transition fires. It mirrors the
+	// ladder events of the decision trace, so an aggregate that only
+	// sees the ledger still knows which rung fired last.
+	LastTransition string `json:"last_transition,omitempty"`
 }
 
 // Add folds another ledger into this one, field by field. Fleet rollups
@@ -180,6 +187,11 @@ func (h *Health) Add(o Health) {
 	h.WatchdogTrips += o.WatchdogTrips
 	h.ConsecutiveFailures += o.ConsecutiveFailures
 	h.Relinquished = h.Relinquished || o.Relinquished
+	if o.LastTransition != "" {
+		// Fold order is the fleet's session-store order, so fleet-wide
+		// this reads "a transition some session fired most recently".
+		h.LastTransition = o.LastTransition
+	}
 }
 
 // Telemetry is the device's statistics surface. Downward, it is what the
@@ -208,6 +220,13 @@ type Telemetry interface {
 	// LastHealth returns the most recently recorded ledger, or the zero
 	// value when nothing has been recorded.
 	LastHealth() Health
+	// RecordSpan publishes one decision-trace span from a control actor.
+	// Like RecordHealth it is observation only: recording must not alter
+	// the device's trajectory, and a run traced through any backend —
+	// sim, replay, a real-device shim — produces the identical span
+	// stream. Backends forward spans to an attached obs.Sink and drop
+	// them when none is attached.
+	RecordSpan(s obs.Span)
 }
 
 // Device bundles every capability a backend provides. Consumers should

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"testing"
 
+	"aspeo/internal/obs"
 	"aspeo/internal/platform"
 	"aspeo/internal/pmu"
 	"aspeo/internal/sysfs"
@@ -269,6 +270,19 @@ func testTelemetry(t *testing.T, f Fixture) {
 		t.Fatalf("LastHealth = %+v, want %+v", got, want)
 	}
 	dev.RecordHealth(platform.Health{})
+
+	// Span recording: with no sink attached, RecordSpan must be a safe
+	// no-op (dropped, not buffered), and like RecordHealth it must not
+	// perturb the device — same clock and counters before and after.
+	now0, busy1 := dev.Now(), dev.CumMachineBusySec()
+	dev.RecordSpan(obs.Span{Cycle: 1, Stage: obs.StageCycle, At: now0,
+		Attrs: obs.Attrs{"probe": true}})
+	if got := dev.Now(); got != now0 {
+		t.Fatalf("RecordSpan advanced the clock: %v -> %v", now0, got)
+	}
+	if b := dev.CumMachineBusySec(); b != busy1 {
+		t.Fatalf("RecordSpan changed CumMachineBusySec: %v -> %v", busy1, b)
+	}
 }
 
 // testPower: the rail reads sanely after a step and the instrumentation

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"aspeo/internal/core"
+	"aspeo/internal/obs"
 	"aspeo/internal/platform/replay"
 	"aspeo/internal/profile"
 	"aspeo/internal/sim"
@@ -46,6 +47,7 @@ func TestReplayGolden(t *testing.T) {
 	opts := core.DefaultOptions(tab, target)
 	opts.Seed = 42
 	opts.LogAllocations = true
+	opts.Trace = true
 	const session = 30 * time.Second
 
 	// Live run: full-rate recording attached.
@@ -57,6 +59,8 @@ func TestReplayGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := sim.NewEngine(ph)
+	liveTrace := obs.NewTrace()
+	ph.AttachSpanSink(liveTrace)
 	live, err := core.New(opts)
 	if err != nil {
 		t.Fatal(err)
@@ -86,6 +90,8 @@ func TestReplayGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	replayTrace := obs.NewTrace()
+	reng.AttachSpanSink(replayTrace)
 	replayed, err := core.New(opts)
 	if err != nil {
 		t.Fatal(err)
@@ -104,5 +110,17 @@ func TestReplayGolden(t *testing.T) {
 			t.Fatalf("allocation cycle %d diverged:\nlive:   %+v\nreplay: %+v",
 				i, liveLog[i], replayLog[i])
 		}
+	}
+
+	// The decision traces must agree too — the span stream is part of
+	// the platform contract (Telemetry.RecordSpan records identically on
+	// any backend), so `aspeo-trace diff` of live vs replay is zero
+	// divergent cycles with per-stage attributes equal.
+	if len(liveTrace.Spans()) == 0 {
+		t.Fatal("live run emitted no spans")
+	}
+	if res := obs.Diff(liveTrace.Spans(), replayTrace.Spans()); !res.Identical() {
+		t.Fatalf("live and replay traces diverged at cycle %d:\n%v",
+			res.FirstDivergent, res.Deltas)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"time"
 
+	"aspeo/internal/obs"
 	"aspeo/internal/platform"
 	"aspeo/internal/pmu"
 	"aspeo/internal/soc"
@@ -48,6 +49,7 @@ type Device struct {
 	freqChanges    int
 	bwChanges      int
 	health         platform.Health // last RecordHealth publication
+	spanSink       obs.Sink        // decision-trace sink; nil drops spans
 }
 
 var _ platform.Device = (*Device)(nil)
@@ -332,6 +334,19 @@ func (d *Device) TakeTouches() int {
 // trajectory.
 func (d *Device) RecordHealth(h platform.Health) { d.health = h }
 
+// AttachSpanSink installs the decision-trace sink RecordSpan forwards
+// to; nil detaches it. A replayed run traced through the same sink type
+// emits the identical span stream as the live run it replays.
+func (d *Device) AttachSpanSink(s obs.Sink) { d.spanSink = s }
+
+// RecordSpan forwards a decision-trace span to the attached sink, or
+// drops it when none is attached (platform.Telemetry).
+func (d *Device) RecordSpan(s obs.Span) {
+	if d.spanSink != nil {
+		d.spanSink.Emit(s)
+	}
+}
+
 // LastHealth returns the most recently recorded health ledger.
 func (d *Device) LastHealth() platform.Health { return d.health }
 
@@ -363,6 +378,10 @@ func NewEngine(pts []trace.Point, chip *soc.SoC) (*Engine, error) {
 
 // Device implements platform.Runner.
 func (e *Engine) Device() platform.Device { return e.dev }
+
+// AttachSpanSink installs the decision-trace sink on the replayed
+// device (see Device.AttachSpanSink).
+func (e *Engine) AttachSpanSink(s obs.Sink) { e.dev.AttachSpanSink(s) }
 
 // Step returns the engine's scheduling quantum: the recorded step.
 func (e *Engine) Step() time.Duration { return e.dev.step }

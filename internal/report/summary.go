@@ -7,6 +7,7 @@ import (
 
 	"aspeo/internal/experiment"
 	"aspeo/internal/fault"
+	"aspeo/internal/obs"
 	"aspeo/internal/platform"
 	"aspeo/internal/sim"
 )
@@ -159,22 +160,21 @@ func Fleet(w io.Writer, r FleetRollup) {
 	h := r.Health
 	fmt.Fprintf(w, "  health: actuation-failures=%d reinstalls=%d rejected-samples=%d watchdog-trips=%d degraded-cycles=%d relinquished=%d\n",
 		h.ActuationFailures, h.GovernorReinstalls, h.RejectedSamples, h.WatchdogTrips, h.DegradedCycles, r.Relinquished)
+	if h.LastTransition != "" {
+		fmt.Fprintf(w, "  last-transition: %s\n", h.LastTransition)
+	}
 }
 
-// PrometheusMetrics renders the rollup in the Prometheus text exposition
-// format (version 0.0.4) — the fleet control plane's /metrics body.
-// Metric names follow the conventions: a unit suffix, _total on
-// monotonic counters.
-func PrometheusMetrics(w io.Writer, r FleetRollup) {
-	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
-	}
-	counter := func(name, help string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
-	}
-
-	fmt.Fprintf(w, "# HELP aspeo_fleet_sessions Sessions currently in each lifecycle state.\n")
-	fmt.Fprintf(w, "# TYPE aspeo_fleet_sessions gauge\n")
+// RollupMetrics publishes the rollup onto an obs.Registry, creating the
+// fleet metric families on first call and refreshing their values on
+// every call after that. The fleet control plane keeps one long-lived
+// registry (so process-level instruments like scrape histograms coexist
+// with the rollup) and refreshes it from the current Rollup() at scrape
+// time. Metric names follow the Prometheus conventions: a unit suffix,
+// _total on monotonic counters.
+func RollupMetrics(reg *obs.Registry, r FleetRollup) {
+	states := reg.GaugeVec("aspeo_fleet_sessions",
+		"Sessions currently in each lifecycle state.", "state")
 	for _, s := range []struct {
 		state string
 		n     int
@@ -182,7 +182,14 @@ func PrometheusMetrics(w io.Writer, r FleetRollup) {
 		{"pending", r.Pending}, {"running", r.Running},
 		{"completed", r.Completed}, {"failed", r.Failed}, {"stopped", r.Stopped},
 	} {
-		fmt.Fprintf(w, "aspeo_fleet_sessions{state=%q} %d\n", s.state, s.n)
+		states.With(s.state).Set(float64(s.n))
+	}
+
+	counter := func(name, help string, v float64) {
+		reg.Counter(name, help).Set(v)
+	}
+	gauge := func(name, help string, v float64) {
+		reg.Gauge(name, help).Set(v)
 	}
 	counter("aspeo_fleet_sessions_submitted_total", "Sessions accepted since start.", float64(r.Submitted))
 	counter("aspeo_fleet_session_restarts_total", "Session restart attempts consumed.", float64(r.Restarts))
@@ -210,4 +217,13 @@ func PrometheusMetrics(w io.Writer, r FleetRollup) {
 		counter(m.name, m.help, float64(m.v))
 	}
 	gauge("aspeo_fleet_relinquished_sessions", "Sessions whose controller relinquished the device.", float64(r.Relinquished))
+}
+
+// PrometheusMetrics renders the rollup in the Prometheus text exposition
+// format (version 0.0.4) — a one-shot convenience over RollupMetrics
+// plus obs.(*Registry).WriteText on a fresh registry.
+func PrometheusMetrics(w io.Writer, r FleetRollup) {
+	reg := obs.NewRegistry()
+	RollupMetrics(reg, r)
+	reg.WriteText(w)
 }

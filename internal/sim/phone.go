@@ -13,6 +13,7 @@ import (
 
 	"aspeo/internal/histogram"
 	"aspeo/internal/monsoon"
+	"aspeo/internal/obs"
 	"aspeo/internal/perfmodel"
 	"aspeo/internal/platform"
 	"aspeo/internal/pmu"
@@ -78,6 +79,7 @@ type Phone struct {
 	freqChanges       int
 	bwChanges         int
 	health            platform.Health // last RecordHealth publication
+	spanSink          obs.Sink        // decision-trace sink; nil drops spans
 
 	// Per-step transient state.
 	pendingOverlayJ float64 // one-shot overlay energy charged to the next step
@@ -359,6 +361,19 @@ func (p *Phone) RecordHealth(h platform.Health) { p.health = h }
 
 // LastHealth returns the most recently recorded health ledger.
 func (p *Phone) LastHealth() platform.Health { return p.health }
+
+// AttachSpanSink installs the decision-trace sink RecordSpan forwards
+// to; nil detaches it. Observation only — attaching a sink never alters
+// the simulation's trajectory.
+func (p *Phone) AttachSpanSink(s obs.Sink) { p.spanSink = s }
+
+// RecordSpan forwards a decision-trace span to the attached sink, or
+// drops it when none is attached (platform.Telemetry).
+func (p *Phone) RecordSpan(s obs.Span) {
+	if p.spanSink != nil {
+		p.spanSink.Emit(s)
+	}
+}
 
 // TakeTouches drains and returns pending input events.
 func (p *Phone) TakeTouches() int {
