@@ -1,15 +1,20 @@
 # CI entry points. `make ci` is what .github/workflows/ci.yml runs:
-# vet, build, the full test suite under the race detector, a
-# single-iteration pass over the optimizer benchmarks to keep them
-# compiling and honest, the fault-campaign, record/replay, fleet
-# control-plane and decision-trace smoke tests, and — when the tools
-# are on PATH — staticcheck and govulncheck.
+# vet, build, the full test suite under the race detector, the
+# benchmark regression check against the committed BENCH_6.json record,
+# the fault-campaign, record/replay, fleet control-plane and
+# decision-trace smoke tests, and — when the tools are on PATH —
+# staticcheck and govulncheck.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-campaign smoke-faults smoke-replay smoke-fleet smoke-trace lint vuln fuzz
+# MICROBENCH is the single-iteration micro-benchmark sweep both bench
+# targets run: it keeps the hot-path benchmarks compiling and their
+# allocs/op visible without paying for statistically stable timings.
+MICROBENCH = $(GO) test -run='^$$' -bench='BenchmarkOptimize|BenchmarkControllerCycle|BenchmarkNewFrontier' -benchtime=1x ./internal/core/...
 
-ci: vet build race bench smoke-faults smoke-replay smoke-fleet smoke-trace lint vuln
+.PHONY: ci vet build test race bench bench-check bench-campaign smoke-faults smoke-replay smoke-fleet smoke-trace lint vuln fuzz
+
+ci: vet build race bench-check smoke-faults smoke-replay smoke-fleet smoke-trace lint vuln
 
 vet:
 	$(GO) vet ./...
@@ -23,8 +28,21 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Refresh the tracked benchmark record: the micro-benchmarks, then the
+# fixed-scenario suite (6 evaluated apps + eBook × 3 background loads
+# under the controller, plus a 256-session fleet slice) written to
+# BENCH_6.json. Run on a quiet machine and commit the result.
 bench:
-	$(GO) test -run='^$$' -bench=BenchmarkOptimize -benchtime=1x ./internal/core/...
+	$(MICROBENCH)
+	$(GO) run ./cmd/aspeo-bench -out BENCH_6.json
+
+# Regression gate: re-run the suite and fail on >10% regression of
+# calibration-normalized throughput or raw allocs/cycle against the
+# committed record. The fresh measurement lands in bench-current.json
+# (untracked) for inspection.
+bench-check:
+	$(MICROBENCH)
+	$(GO) run ./cmd/aspeo-bench -check BENCH_6.json -out bench-current.json
 
 # One fault scenario end to end at Quick fidelity: faults delivered,
 # ledger populated, hardened slack bounded by the stock governors'.

@@ -1,0 +1,397 @@
+// Command aspeo-bench runs the repo's fixed benchmark suite and writes
+// (or checks) the tracked benchmark record BENCH_*.json.
+//
+// The suite is fully seeded: the six evaluated applications run under
+// the energy controller at baseline load (profiled once, at quick
+// fidelity, before any measurement starts), then a fleet slice submits
+// N controller sessions through the fleet manager's worker pool. Each
+// scenario records control cycles per wall second, simulated device
+// seconds per wall second, heap allocations per control cycle, and the
+// p95 wall-clock latency of one control cycle.
+//
+// Usage:
+//
+//	aspeo-bench -out BENCH_6.json          # write the tracked record
+//	aspeo-bench -check BENCH_6.json        # fail on >10% regression
+//	aspeo-bench -no-fusion -out before.json  # pre-optimization baseline
+//	aspeo-bench -cpuprofile cpu.pprof -out /dev/null
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"aspeo/internal/benchrec"
+	"aspeo/internal/core"
+	"aspeo/internal/experiment"
+	"aspeo/internal/fleet"
+	"aspeo/internal/histogram"
+	"aspeo/internal/profile"
+	"aspeo/internal/sim"
+	"aspeo/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		out        = flag.String("out", "", "write the benchmark record to this path")
+		check      = flag.String("check", "", "run the suite and fail on regression against this baseline record")
+		tol        = flag.Float64("tol", 0.10, "relative regression tolerance for -check")
+		fleetN     = flag.Int("fleet", 256, "fleet-slice session count (0 skips the fleet scenario)")
+		seed       = flag.Int64("seed", 101, "base simulation seed")
+		noFusion   = flag.Bool("no-fusion", false, "disable the simulator's K-step fused fast path (pre-optimization comparison)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the suite to this path")
+		memprofile = flag.String("memprofile", "", "write a heap profile (taken after the suite) to this path")
+	)
+	flag.Parse()
+	if *out == "" && *check == "" {
+		fmt.Fprintln(os.Stderr, "aspeo-bench: nothing to do: pass -out and/or -check")
+		return 2
+	}
+	if *noFusion {
+		// The phone reads this at construction, so one setting covers
+		// both the direct cells and every fleet session.
+		os.Setenv("ASPEO_NO_FUSION", "1")
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fatal("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fatal("%v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	logf("calibrating machine speed...")
+	rec := benchrec.New(!*noFusion)
+	rec.CalibScore = benchrec.Calibrate()
+	logf("calibration score %.1f iters/us", rec.CalibScore)
+
+	// The suite: the paper's six evaluated applications plus the
+	// idle-dominated eBook reader, each under every background load.
+	apps := append(workload.Evaluated(), workload.EBook())
+	loads := []workload.BGLoad{workload.BaselineLoad, workload.NoLoad, workload.HeavierLoad}
+
+	// Setup, not measurement: profile each cell and measure its
+	// default-governor target at quick fidelity, exactly as the Table
+	// III campaign derives its controller inputs.
+	logf("profiling %d cells (quick fidelity)...", len(apps)*len(loads))
+	exp := experiment.Quick()
+	type prep struct {
+		tab    *profile.Table
+		target float64
+	}
+	preps := make(map[string]prep, len(apps)*len(loads))
+	for _, spec := range apps {
+		for _, load := range loads {
+			tab, err := exp.Profile(spec, load, profile.Coordinated)
+			if err != nil {
+				return fatal("profiling %s/%s: %v", spec.Name, load, err)
+			}
+			def, err := exp.MeasureDefault(spec, load)
+			if err != nil {
+				return fatal("default %s/%s: %v", spec.Name, load, err)
+			}
+			preps[spec.Name+"/"+load.String()] = prep{tab: tab, target: def.GIPS}
+		}
+	}
+
+	for _, spec := range apps {
+		for _, load := range loads {
+			p := preps[spec.Name+"/"+load.String()]
+			sc, err := runApp(spec, load, p.tab, p.target, *seed)
+			if err != nil {
+				return fatal("%s/%s: %v", spec.Name, load, err)
+			}
+			logScenario(sc)
+			rec.Scenarios = append(rec.Scenarios, sc)
+		}
+	}
+	if *fleetN > 0 {
+		tables := make(map[string]*profile.Table, len(apps))
+		targets := make(map[string]float64, len(apps))
+		for _, spec := range apps {
+			p := preps[spec.Name+"/BL"]
+			tables[spec.Name], targets[spec.Name] = p.tab, p.target
+		}
+		sc, err := runFleet(*fleetN, apps, tables, targets, *seed)
+		if err != nil {
+			return fatal("fleet: %v", err)
+		}
+		logScenario(sc)
+		rec.Scenarios = append(rec.Scenarios, sc)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fatal("%v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fatal("%v", err)
+		}
+		f.Close()
+	}
+	if *out != "" {
+		if err := rec.WriteFile(*out); err != nil {
+			return fatal("%v", err)
+		}
+		logf("wrote %s (%d scenarios)", *out, len(rec.Scenarios))
+	}
+	if *check != "" {
+		base, err := benchrec.ReadFile(*check)
+		if err != nil {
+			return fatal("%v", err)
+		}
+		regs, err := benchrec.Compare(base, rec, *tol)
+		if err != nil {
+			return fatal("%v", err)
+		}
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "aspeo-bench: REGRESSION %s\n", r)
+			}
+			return 1
+		}
+		logf("no regression beyond %.0f%% against %s", *tol*100, *check)
+	}
+	return 0
+}
+
+// latencyBounds are the Dist bucket upper bounds for per-cycle wall
+// latency, in milliseconds: exponential from 5 µs to ~2 s (a fused
+// cycle simulates 2 device seconds in well under a millisecond; the
+// top bound leaves room for unfused runs on slow machines).
+func latencyBounds() []float64 {
+	var b []float64
+	for v := 0.005; v < 2000; v *= 1.25 {
+		b = append(b, v)
+	}
+	return b
+}
+
+// Noise control: one short seeded run is at the mercy of the
+// scheduler, so every cell is re-run until minScenarioWall of total
+// wall time or maxScenarioIters identical runs, and the record keeps
+// the best (least-interfered) iteration. Same seed, same table —
+// every iteration is the identical computation, so the max over
+// iterations estimates the same quantity with less noise.
+const (
+	minScenarioWall  = 250 * time.Millisecond
+	maxScenarioIters = 5
+)
+
+// runApp measures one controller cell end to end: the app's standard
+// session under the given background load, seeded, on a pre-profiled
+// table. Best-of-N over identical runs; the allocation count takes the
+// minimum across iterations (allocations are a property of the code
+// path, and the minimum strips incidental runtime noise).
+func runApp(spec *workload.Spec, load workload.BGLoad, tab *profile.Table, target float64, seed int64) (benchrec.Scenario, error) {
+	var sc benchrec.Scenario
+	var total time.Duration
+	for i := 0; i < maxScenarioIters && (i == 0 || total < minScenarioWall); i++ {
+		one, err := runAppOnce(spec, load, tab, target, seed)
+		if err != nil {
+			return sc, err
+		}
+		total += time.Duration(one.WallSeconds * float64(time.Second))
+		switch {
+		case i == 0:
+			sc = one
+		case one.CyclesPerSec > sc.CyclesPerSec:
+			if sc.AllocsPerCycle < one.AllocsPerCycle {
+				one.AllocsPerCycle = sc.AllocsPerCycle
+			}
+			sc = one
+		case one.AllocsPerCycle < sc.AllocsPerCycle:
+			sc.AllocsPerCycle = one.AllocsPerCycle
+		}
+	}
+	return sc, nil
+}
+
+func runAppOnce(spec *workload.Spec, load workload.BGLoad, tab *profile.Table, target float64, seed int64) (benchrec.Scenario, error) {
+	var sc benchrec.Scenario
+	sc.Name = spec.Name + "/" + load.String() + "/controller"
+	ph, err := sim.NewPhone(sim.Config{
+		Foreground: spec, Load: load, Seed: seed,
+		ScreenOn: true, WiFiOn: true,
+	})
+	if err != nil {
+		return sc, err
+	}
+	eng := sim.NewEngine(ph)
+	opts := core.DefaultOptions(tab, target)
+	opts.Seed = seed
+	dist := histogram.NewDist(latencyBounds())
+	var lastCycle time.Time
+	opts.OnCycle = func(core.CycleSnapshot) {
+		now := time.Now()
+		if !lastCycle.IsZero() {
+			dist.Observe(float64(now.Sub(lastCycle).Microseconds()) / 1e3)
+		}
+		lastCycle = now
+	}
+	ctl, err := core.New(opts)
+	if err != nil {
+		return sc, err
+	}
+	if err := ctl.Install(eng); err != nil {
+		return sc, err
+	}
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	wall0 := time.Now()
+	st := eng.Run(spec.RunFor, false)
+	wall := time.Since(wall0).Seconds()
+	runtime.ReadMemStats(&m1)
+
+	cycles := ctl.Snapshot().CyclesRun
+	sc.SimSeconds = st.Duration.Seconds()
+	sc.WallSeconds = wall
+	sc.Cycles = cycles
+	if wall > 0 {
+		sc.CyclesPerSec = float64(cycles) / wall
+		sc.SimPerWall = sc.SimSeconds / wall
+	}
+	if cycles > 0 {
+		sc.AllocsPerCycle = float64(m1.Mallocs-m0.Mallocs) / float64(cycles)
+	}
+	sc.P95CycleMs = dist.Quantile(0.95)
+	return sc, nil
+}
+
+// runFleet measures the fleet runtime: n controller sessions submitted
+// through the manager's worker pool, each 60 simulated seconds on a
+// stored profile. The measurement covers submission, scheduling,
+// session construction and the runs themselves — the management
+// plane's end-to-end throughput, not a single cell's. Best of two:
+// concurrent schedules are where machine noise bites hardest.
+func runFleet(n int, apps []*workload.Spec, tables map[string]*profile.Table,
+	targets map[string]float64, seed int64) (benchrec.Scenario, error) {
+
+	sc, err := runFleetOnce(n, apps, tables, targets, seed)
+	if err != nil {
+		return sc, err
+	}
+	again, err := runFleetOnce(n, apps, tables, targets, seed)
+	if err != nil {
+		return sc, err
+	}
+	if again.CyclesPerSec > sc.CyclesPerSec {
+		if sc.AllocsPerCycle < again.AllocsPerCycle {
+			again.AllocsPerCycle = sc.AllocsPerCycle
+		}
+		sc = again
+	} else if again.AllocsPerCycle < sc.AllocsPerCycle {
+		sc.AllocsPerCycle = again.AllocsPerCycle
+	}
+	return sc, nil
+}
+
+func runFleetOnce(n int, apps []*workload.Spec, tables map[string]*profile.Table,
+	targets map[string]float64, seed int64) (benchrec.Scenario, error) {
+
+	var sc benchrec.Scenario
+	sc.Name = fmt.Sprintf("fleet-%d", n)
+	dir, err := os.MkdirTemp("", "aspeo-bench-")
+	if err != nil {
+		return sc, err
+	}
+	defer os.RemoveAll(dir)
+	paths := make(map[string]string, len(apps))
+	for _, spec := range apps {
+		path := filepath.Join(dir, spec.Name+".json")
+		f, err := os.Create(path)
+		if err != nil {
+			return sc, err
+		}
+		if err := tables[spec.Name].WriteJSON(f); err != nil {
+			f.Close()
+			return sc, err
+		}
+		if err := f.Close(); err != nil {
+			return sc, err
+		}
+		paths[spec.Name] = path
+	}
+
+	m := fleet.NewManager(fleet.Options{})
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	wall0 := time.Now()
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		app := apps[i%len(apps)]
+		v, err := m.Submit(fleet.Config{
+			App: app.Name, Controller: true,
+			Profile: paths[app.Name], TargetGIPS: targets[app.Name],
+			Seed: seed + int64(i), RunForS: 60,
+		})
+		if err != nil {
+			return sc, err
+		}
+		ids = append(ids, v.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	cycles := 0
+	for _, id := range ids {
+		v, err := m.WaitSession(ctx, id)
+		if err != nil {
+			return sc, err
+		}
+		if v.State != fleet.StateCompleted {
+			return sc, fmt.Errorf("session %s landed %s: %s", id, v.State, v.Error)
+		}
+		sc.SimSeconds += v.Summary.DurationS
+		if v.Summary.Controller != nil {
+			cycles += v.Summary.Controller.Cycles
+		}
+	}
+	wall := time.Since(wall0).Seconds()
+	runtime.ReadMemStats(&m1)
+	if err := m.Drain(ctx); err != nil {
+		return sc, err
+	}
+
+	sc.WallSeconds = wall
+	sc.Cycles = cycles
+	if wall > 0 {
+		sc.CyclesPerSec = float64(cycles) / wall
+		sc.SimPerWall = sc.SimSeconds / wall
+	}
+	if cycles > 0 {
+		sc.AllocsPerCycle = float64(m1.Mallocs-m0.Mallocs) / float64(cycles)
+	}
+	return sc, nil
+}
+
+func logScenario(sc benchrec.Scenario) {
+	logf("%-24s %8.0f cycles/s  %9.0f sim_s/wall_s  %7.2f allocs/cycle  p95 %.3f ms",
+		sc.Name, sc.CyclesPerSec, sc.SimPerWall, sc.AllocsPerCycle, sc.P95CycleMs)
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aspeo-bench: "+format+"\n", args...)
+}
+
+func fatal(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "aspeo-bench: "+format+"\n", args...)
+	return 1
+}

@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -52,8 +54,36 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write the controller's full decision trace (NDJSON, for aspeo-trace) to this path")
 		flightOut  = flag.String("flight-out", "", "write the flight recorder's ring (last spans before an escalation) to this path when the watchdog tripped or the controller relinquished")
 		flightCap  = flag.Int("flight-cap", 0, "flight recorder ring capacity in spans (0 = default)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
+		memprofile = flag.String("memprofile", "", "write a heap profile (taken after the run) to this path")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("%v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal("%v", err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal("%v", err)
+			}
+			if err := f.Close(); err != nil {
+				fatal("%v", err)
+			}
+		}()
+	}
 
 	var traceEvery time.Duration
 	if *traceCSV != "" {

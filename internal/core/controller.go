@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"aspeo/internal/kalman"
+	"aspeo/internal/lp"
 	"aspeo/internal/obs"
 	"aspeo/internal/perftool"
 	"aspeo/internal/platform"
@@ -138,10 +139,31 @@ type Controller struct {
 	// never go stale — phase switches merely change which keys are hit.
 	allocCache     map[float64]Allocation
 	allocCacheHits int
-	perf           *perftool.Perf
-	kf             *kalman.Filter
+	// memo* is a single-entry fast path in front of allocCache: a
+	// converged regulator whose Kalman target moved less than the
+	// quantized-cache resolution re-requests the same key cycle after
+	// cycle, and the repeat skips even the map hash. A memo hit reports
+	// exactly like a map hit (allocCacheHits, lastSolvePath).
+	memoQT    float64
+	memoAlloc Allocation
+	memoOK    bool
+	// lpWS is the simplex workspace reused across UseLP-mode solves;
+	// lpC/lpS/lpOnes are the matching problem-row scratch vectors.
+	lpWS             lp.Workspace
+	lpC, lpS, lpOnes []float64
+	perf             *perftool.Perf
+	kf               *kalman.Filter
 
 	dev platform.Device // the device under control; set by Install
+	// batch is dev's optional batched-write capability (nil when absent —
+	// notably under fault decoration, which must see every write).
+	batch platform.BatchWriter
+	// writeBuf is the reusable actuation batch (cpufreq + devfreq).
+	writeBuf []platform.FileWrite
+	// freqVal/bwVal are the sysfs value strings per ladder index,
+	// precomputed on first actuation so the per-quantum hot path never
+	// formats integers.
+	freqVal, bwVal []string
 
 	sPrev     float64 // speedup applied during the previous cycle
 	tracker   *PhaseTracker
@@ -158,6 +180,7 @@ type Controller struct {
 	cycleFailed      bool // an actuation failed unrecovered this cycle
 	degraded         bool // watchdog pinned the safe configuration
 	recentY          []float64
+	recentYPos       int    // ring write position once recentY is full
 	outlierRun       int    // consecutive outlier rejections (persistence-accept)
 	stockCPUGov      string // governor to hand back on relinquish
 	stockBWGov       string
@@ -230,6 +253,9 @@ func New(opt Options) (*Controller, error) {
 			entries[0].Speedup, entries[len(entries)-1].Speedup),
 		slots: make([]profile.Entry, nSlots),
 	}
+	if n := c.res.StuckWindow - 1; n > 0 {
+		c.recentY = make([]float64, 0, n)
+	}
 	if opt.PhaseAware {
 		maxPhases := opt.MaxPhases
 		if maxPhases == 0 {
@@ -263,7 +289,7 @@ func clamp(x, lo, hi float64) float64 { return math.Max(lo, math.Min(hi, x)) }
 // setup) is reported rather than swallowed.
 func (c *Controller) Install(r platform.Runner) error {
 	dev := r.Device()
-	c.dev = dev
+	c.bindDevice(dev)
 	c.recordInstallState(dev)
 	if err := c.installGovernor(dev, sysfs.CPUScalingGovernor, "cpu"); err != nil {
 		return err
@@ -281,6 +307,18 @@ func (c *Controller) Install(r platform.Runner) error {
 	}
 	c.attached = true
 	return nil
+}
+
+// bindDevice fixes the device the controller actuates and probes its
+// optional batched-write capability. Fault-decorated devices do not
+// expose platform.BatchWriter — the assertion fails and apply falls back
+// to per-file writes, keeping every write inside the fault model.
+func (c *Controller) bindDevice(dev platform.Device) {
+	c.dev = dev
+	c.batch, _ = dev.(platform.BatchWriter)
+	if c.writeBuf == nil {
+		c.writeBuf = make([]platform.FileWrite, 0, 2)
+	}
 }
 
 // installGovernor switches one governor file to userspace and verifies
@@ -312,7 +350,7 @@ func (c *Controller) Period() time.Duration { return c.opt.Quantum }
 // captured, which carries any fault decoration.
 func (c *Controller) Tick(now time.Duration, dev platform.Device) {
 	if c.dev == nil {
-		c.dev = dev
+		c.bindDevice(dev)
 	}
 	if c.health.Relinquished {
 		return // the stock governors own the device again
@@ -523,12 +561,20 @@ func (c *Controller) emitSpan(dev platform.Device, stage string, attrs obs.Attrs
 func (c *Controller) optimize(target float64) (Allocation, error) {
 	if c.opt.UseLP {
 		c.lastSolvePath = "lp"
-		return OptimizeLP(c.entries, target, c.opt.CycleT)
+		return c.optimizeLP(target)
 	}
 	qt := math.Round(target*allocCacheScale) / allocCacheScale
+	if c.memoOK && qt == c.memoQT {
+		// Target moved less than the cache resolution: same key, same
+		// allocation, and the same hit accounting as the map below.
+		c.allocCacheHits++
+		c.lastSolvePath = "cache"
+		return c.memoAlloc, nil
+	}
 	if a, ok := c.allocCache[qt]; ok {
 		c.allocCacheHits++
 		c.lastSolvePath = "cache"
+		c.memoQT, c.memoAlloc, c.memoOK = qt, a, true
 		return a, nil
 	}
 	c.lastSolvePath = "frontier"
@@ -537,9 +583,13 @@ func (c *Controller) optimize(target float64) (Allocation, error) {
 		return a, err
 	}
 	if len(c.allocCache) >= allocCacheMax {
+		// The memo stays valid across the flush: the solver is a pure
+		// function of the immutable pruned table, so a re-solve of the
+		// memo key would return the identical allocation.
 		clear(c.allocCache)
 	}
 	c.allocCache[qt] = a
+	c.memoQT, c.memoAlloc, c.memoOK = qt, a, true
 	return a, nil
 }
 
@@ -567,19 +617,52 @@ func (c *Controller) fillSlots(a Allocation) int {
 // write — transient kernel error, or a governor flipped back by an OEM
 // daemon — surfaces to the retry/watchdog path in applySlot, which is
 // how a hijack is actually detected between ownership checks.
+//
+// The slot's writes go through the device's batched-write capability
+// when it has one — one call per slot instead of one per file — and
+// fall back to per-file WriteFile otherwise. Both paths write in the
+// same order and stop at the first error, and both use the value
+// strings precomputed per ladder index, so the per-quantum hot path
+// formats nothing.
 func (c *Controller) apply(dev platform.Device, e profile.Entry) error {
-	s := dev.SoC()
-	khz := int(s.Freq(e.FreqIdx).GHz()*1e6 + 0.5)
-	if err := dev.WriteFile(sysfs.CPUScalingSetSpeed, strconv.Itoa(khz)); err != nil {
+	if c.freqVal == nil {
+		c.buildValueStrings(dev)
+	}
+	writeBW := !c.opt.CPUOnly && e.BWIdx >= 0
+	if c.batch != nil {
+		buf := append(c.writeBuf[:0],
+			platform.FileWrite{Path: sysfs.CPUScalingSetSpeed, Value: c.freqVal[e.FreqIdx]})
+		if writeBW {
+			buf = append(buf, platform.FileWrite{Path: sysfs.DevFreqSetFreq, Value: c.bwVal[e.BWIdx]})
+		}
+		c.writeBuf = buf
+		return c.batch.WriteFiles(buf)
+	}
+	if err := dev.WriteFile(sysfs.CPUScalingSetSpeed, c.freqVal[e.FreqIdx]); err != nil {
 		return err
 	}
-	if !c.opt.CPUOnly && e.BWIdx >= 0 {
-		mbps := int(s.BW(e.BWIdx).MBps())
-		if err := dev.WriteFile(sysfs.DevFreqSetFreq, strconv.Itoa(mbps)); err != nil {
+	if writeBW {
+		if err := dev.WriteFile(sysfs.DevFreqSetFreq, c.bwVal[e.BWIdx]); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// buildValueStrings precomputes the sysfs value text for every ladder
+// index — the same strconv.Itoa results apply used to format on every
+// write. Built lazily on first actuation, when the device (and hence
+// the SoC ladder) is known.
+func (c *Controller) buildValueStrings(dev platform.Device) {
+	s := dev.SoC()
+	c.freqVal = make([]string, len(s.CPUFreqs))
+	for i := range c.freqVal {
+		c.freqVal[i] = strconv.Itoa(int(s.Freq(i).GHz()*1e6 + 0.5))
+	}
+	c.bwVal = make([]string, len(s.MemBWs))
+	for i := range c.bwVal {
+		c.bwVal[i] = strconv.Itoa(int(s.BW(i).MBps()))
+	}
 }
 
 // Cycles returns how many closed-loop cycles have run.
@@ -599,9 +682,19 @@ func (c *Controller) LastMeasuredGIPS() float64 { return c.lastMeasured }
 // LastAllocation returns the most recent optimizer decision.
 func (c *Controller) LastAllocation() Allocation { return c.lastAlloc }
 
-// AllocationLog returns the per-cycle decision log (nil unless
-// Options.LogAllocations was set).
-func (c *Controller) AllocationLog() []AllocationRecord { return c.allocLog }
+// AllocationLog returns a copy of the per-cycle decision log (nil
+// unless Options.LogAllocations was set). The copy means a caller can
+// hold the log across further cycles without the controller's appends
+// showing through — or worse, a grow reallocation leaving the caller a
+// stale prefix.
+func (c *Controller) AllocationLog() []AllocationRecord {
+	if c.allocLog == nil {
+		return nil
+	}
+	out := make([]AllocationRecord, len(c.allocLog))
+	copy(out, c.allocLog)
+	return out
+}
 
 // BaseSpeedEstimate returns the Kalman filter's current base speed.
 func (c *Controller) BaseSpeedEstimate() float64 {

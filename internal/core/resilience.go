@@ -218,11 +218,21 @@ func (c *Controller) gate(y, z float64) bool {
 }
 
 // pushRecentY records a raw measurement in the stuck-detection ring.
+// Once the window is full the oldest entry is overwritten in place — the
+// stuck scan is an order-independent equality sweep, so rotation is
+// invisible to it and the steady state allocates nothing.
 func (c *Controller) pushRecentY(y float64) {
-	c.recentY = append(c.recentY, y)
-	if n := c.res.StuckWindow - 1; n > 0 && len(c.recentY) > n {
-		c.recentY = c.recentY[len(c.recentY)-n:]
+	n := c.res.StuckWindow - 1
+	if n <= 0 {
+		c.recentY = append(c.recentY, y)
+		return
 	}
+	if len(c.recentY) < n {
+		c.recentY = append(c.recentY, y)
+		return
+	}
+	c.recentY[c.recentYPos] = y
+	c.recentYPos = (c.recentYPos + 1) % n
 }
 
 // watchdog consumes one cycle's health verdict and walks the degradation

@@ -81,8 +81,11 @@ func (c *Controller) Snapshot() CycleSnapshot {
 // control law, so a run with a subscriber is bit-identical to one
 // without.
 func (c *Controller) publishCycle(dev platform.Device) {
+	var snap CycleSnapshot
+	haveSnap := false
 	if c.opt.Trace {
 		s := c.Snapshot()
+		snap, haveSnap = s, true
 		attrs := obs.Attrs{
 			"cycles":               obs.Num(s.Cycles),
 			"measured_gips":        s.MeasuredGIPS,
@@ -104,6 +107,9 @@ func (c *Controller) publishCycle(dev platform.Device) {
 	}
 	dev.RecordHealth(c.health)
 	if c.opt.OnCycle != nil {
-		c.opt.OnCycle(c.Snapshot())
+		if !haveSnap {
+			snap = c.Snapshot()
+		}
+		c.opt.OnCycle(snap)
 	}
 }

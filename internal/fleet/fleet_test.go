@@ -251,7 +251,10 @@ func TestFleetDrain(t *testing.T) {
 
 func TestFleetDrainTimeoutStopsSessions(t *testing.T) {
 	m := fleet.NewManager(fleet.Options{Workers: 1})
-	v, err := m.Submit(fleet.Config{App: "spotify", RunForS: 3600})
+	// Long enough that even the fused-step simulator cannot finish it
+	// before the drain timeout below fires; drain's cooperative stop
+	// still lands the session promptly once the deadline passes.
+	v, err := m.Submit(fleet.Config{App: "spotify", RunForS: 3_600_000})
 	if err != nil {
 		t.Fatal(err)
 	}

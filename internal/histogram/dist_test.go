@@ -66,3 +66,45 @@ func TestDistInvalidBoundsPanic(t *testing.T) {
 		})
 	}
 }
+
+func TestDistQuantile(t *testing.T) {
+	d := NewDist([]float64{1, 2, 4, 8})
+	if got := d.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile(0.5) = %v, want 0", got)
+	}
+	// 10 observations: 5 in (…,1], 4 in (1,2], 1 in (4,8].
+	for i := 0; i < 5; i++ {
+		d.Observe(0.5)
+	}
+	for i := 0; i < 4; i++ {
+		d.Observe(1.5)
+	}
+	d.Observe(6)
+	if got := d.Quantile(0.5); got != 1 {
+		t.Fatalf("Quantile(0.5) = %v, want 1", got)
+	}
+	if got := d.Quantile(0.9); got != 2 {
+		t.Fatalf("Quantile(0.9) = %v, want 2", got)
+	}
+	if got := d.Quantile(0.95); got != 8 {
+		t.Fatalf("Quantile(0.95) = %v, want 8", got)
+	}
+	// Clamping: out-of-range q behaves as 0 and 1.
+	if got := d.Quantile(-3); got != d.Quantile(0) {
+		t.Fatalf("Quantile(-3) = %v, want %v", got, d.Quantile(0))
+	}
+	if got := d.Quantile(7); got != d.Quantile(1) {
+		t.Fatalf("Quantile(7) = %v, want %v", got, d.Quantile(1))
+	}
+}
+
+// Overflow observations cannot be resolved past the top bound; Quantile
+// reports the highest finite bound rather than inventing a value.
+func TestDistQuantileOverflow(t *testing.T) {
+	d := NewDist([]float64{1, 2})
+	d.Observe(100)
+	d.Observe(200)
+	if got := d.Quantile(0.95); got != 2 {
+		t.Fatalf("overflow Quantile(0.95) = %v, want top bound 2", got)
+	}
+}

@@ -156,6 +156,34 @@ func (d *Dist) Cumulative(i int) uint64 {
 	return c
 }
 
+// Quantile returns an upper estimate of the q-quantile: the upper bound
+// of the first bucket at which the cumulative count reaches q·Total().
+// q is clamped to [0, 1], and a distribution with no observations
+// returns 0. Observations that landed in the +Inf overflow bucket
+// report the highest finite bound — the histogram cannot resolve beyond
+// it, so callers should size their top bound past the values they care
+// about.
+func (d *Dist) Quantile(q float64) float64 {
+	if d.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(d.n)
+	var c float64
+	for i, b := range d.bounds {
+		c += float64(d.counts[i])
+		if c >= rank {
+			return b
+		}
+	}
+	return d.bounds[len(d.bounds)-1]
+}
+
 // Total returns the observation count.
 func (d *Dist) Total() uint64 { return d.n }
 

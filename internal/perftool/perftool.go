@@ -71,9 +71,15 @@ type Perf struct {
 	prevAt      time.Duration
 	initialized bool
 	last        Reading
-	history     []Reading // most recent last
-	seq         int
-	attached    bool
+	// history is a fixed ring of the most recent readings: histPos is
+	// the next write slot, histN the live count (== historyLen once
+	// wrapped). A ring instead of an append-and-reslice window keeps the
+	// per-sample steady state allocation-free.
+	history  [historyLen]Reading
+	histPos  int
+	histN    int
+	seq      int
+	attached bool
 
 	hook    FaultHook
 	dropped int
@@ -153,9 +159,10 @@ func (p *Perf) Tick(now time.Duration, dev platform.Device) {
 	p.seq++
 	r.Seq = p.seq
 	p.last = r
-	p.history = append(p.history, p.last)
-	if len(p.history) > historyLen {
-		p.history = p.history[len(p.history)-historyLen:]
+	p.history[p.histPos] = r
+	p.histPos = (p.histPos + 1) % historyLen
+	if p.histN < historyLen {
+		p.histN++
 	}
 }
 
@@ -185,14 +192,14 @@ func (p *Perf) Last() (Reading, bool) {
 // are excluded, so ok is false for a non-positive span, before the first
 // window closes, and when every sample inside the span was dropped.
 func (p *Perf) MeanOver(span time.Duration) (float64, bool) {
-	if span <= 0 || len(p.history) == 0 {
+	if span <= 0 || p.histN == 0 {
 		return 0, false
 	}
 	cutoff := p.prevAt - span
 	var sum, weight float64
 	covered := time.Duration(0)
-	for i := len(p.history) - 1; i >= 0 && covered < span; i-- {
-		r := p.history[i]
+	for k := 0; k < p.histN && covered < span; k++ {
+		r := &p.history[(p.histPos-1-k+2*historyLen)%historyLen]
 		if r.EndedAt <= cutoff {
 			break // window entirely before the span: stale
 		}

@@ -129,6 +129,28 @@ type SysfsView interface {
 	CreateFile(path, initial string, writable bool, hook sysfs.WriteHook)
 }
 
+// FileWrite is one sysfs write of a batch (see BatchWriter).
+type FileWrite struct {
+	Path, Value string
+}
+
+// BatchWriter is an optional capability a backend may add to its
+// SysfsView: apply several userspace-semantics writes in one call.
+// Semantics are exactly sequential WriteFile calls — writes apply in
+// order and the first error aborts the batch, leaving later files
+// untouched — so a caller may use it purely as a fast path.
+//
+// Capability discovery is by type assertion on the device a consumer
+// holds. Fault decorators wrap devices in a plain platform.Device
+// embedding, which deliberately does NOT expose this interface: under
+// fault injection the assertion fails and consumers fall back to
+// per-file WriteFile, keeping every write inside the fault model.
+type BatchWriter interface {
+	// WriteFiles applies the writes in order with WriteFile semantics,
+	// stopping at (and returning) the first error.
+	WriteFiles(writes []FileWrite) error
+}
+
 // Health is a control actor's self-diagnostics ledger: what its fault
 // ladder observed and did. It lives in the platform contract (rather
 // than internal/core, whose controller populates it) so every backend

@@ -54,6 +54,20 @@ func (p *PMU) Add(c Counter, delta float64) {
 	p.mu.Unlock()
 }
 
+// AddN advances a counter by delta, n times in sequence — bit-identical
+// to n successive Add calls, but under one lock acquisition. The fused
+// simulator step uses it to replay identical per-step increments.
+func (p *PMU) AddN(c Counter, delta float64, n int) {
+	if delta <= 0 || n <= 0 || c < 0 || c >= numCounters {
+		return
+	}
+	p.mu.Lock()
+	for i := 0; i < n; i++ {
+		p.counts[c] += delta
+	}
+	p.mu.Unlock()
+}
+
 // Read returns the current value of a counter.
 func (p *PMU) Read(c Counter) float64 {
 	if c < 0 || c >= numCounters {

@@ -12,7 +12,10 @@ import (
 // remaining naming/shape gaps so consumers never need the concrete
 // *Phone, *pmu.PMU or *sysfs.FS types.
 
-var _ platform.Device = (*Phone)(nil)
+var (
+	_ platform.Device      = (*Phone)(nil)
+	_ platform.BatchWriter = (*Phone)(nil)
+)
 
 // PMUSnapshot implements platform.PerfReader.
 func (p *Phone) PMUSnapshot() pmu.Snapshot { return p.pmu.Snapshot() }
@@ -30,6 +33,18 @@ func (p *Phone) ReadFile(path string) (string, error) { return p.fs.Read(path) }
 // WriteFile implements platform.SysfsView (userspace write semantics:
 // permissions and hooks apply).
 func (p *Phone) WriteFile(path, value string) error { return p.fs.Write(path, value) }
+
+// WriteFiles implements platform.BatchWriter: sequential WriteFile
+// semantics under one call, first error aborts. The controller's
+// actuator batches one dwell slot's cpufreq+devfreq writes through it.
+func (p *Phone) WriteFiles(writes []platform.FileWrite) error {
+	for _, w := range writes {
+		if err := p.fs.Write(w.Path, w.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // SetFile implements platform.SysfsView (root semantics: hooks and
 // permissions bypassed).

@@ -72,8 +72,10 @@ func (e *Engine) MustRegister(a Actor) {
 	}
 }
 
-// SetInterrupt installs a callback polled at every step boundary during
-// Run; when it returns true the run stops there, and Run's Stats cover
+// SetInterrupt installs a callback polled at batch boundaries during
+// Run — at least once per actor period (the fastest actor bounds the
+// batch length, so never more than ~200 ms of simulated time apart);
+// when it returns true the run stops there, and Run's Stats cover
 // exactly the steps that executed. nil clears it. The fleet runtime uses
 // this for cooperative session stop; an interrupt that never fires
 // leaves the run bit-identical to one without (the poll is observation
@@ -99,6 +101,11 @@ func (e *Engine) Run(until time.Duration, stopWhenFGDone bool) Stats {
 	freqChangesAtStart := ph.FreqChanges()
 	bwChangesAtStart := ph.BWChanges()
 
+	// The loop advances in batches: tick every actor that is due, then
+	// hand the phone all the steps up to the next actor deadline (or the
+	// run deadline) at once. StepN fuses those steps where the workload
+	// allows; the actor schedule is unchanged because no actor deadline
+	// can fall inside a batch.
 	for ph.Now() < deadline {
 		if stopWhenFGDone && ph.FGDone() {
 			break
@@ -107,13 +114,21 @@ func (e *Engine) Run(until time.Duration, stopWhenFGDone bool) Stats {
 			break
 		}
 		now := ph.Now()
+		next := deadline
 		for i := range e.actors {
 			if now >= e.actors[i].next {
 				e.actors[i].actor.Tick(now, ph)
 				e.actors[i].next = now + e.actors[i].actor.Period()
 			}
+			if e.actors[i].next < next {
+				next = e.actors[i].next
+			}
 		}
-		ph.Step(e.step)
+		n := int((next - now) / e.step)
+		if n < 1 {
+			n = 1
+		}
+		ph.StepN(e.step, n, stopWhenFGDone)
 	}
 
 	ph.Monitor().Stop()

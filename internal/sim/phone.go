@@ -8,6 +8,7 @@ package sim
 
 import (
 	"fmt"
+	"os"
 	"strconv"
 	"time"
 
@@ -66,10 +67,16 @@ type Phone struct {
 	screenOn bool
 	wifiOn   bool
 
-	fg *workload.Task
-	bg []*workload.Task
+	fg    *workload.Task
+	bg    []*workload.Task
+	tasks []*workload.Task // fg followed by bg, fixed at construction
 
 	now time.Duration
+
+	// K-step fusion state (StepN). fusion gates the fast path; plan
+	// caches the per-step quantities of the last slow Step.
+	fusion bool
+	plan   stepPlan
 
 	// Cumulative telemetry counters (governors snapshot and diff).
 	cumMachineBusySec float64 // aggregate machine-busy seconds
@@ -138,6 +145,11 @@ func NewPhone(cfg Config) (*Phone, error) {
 	for i, spec := range workload.Background(cfg.Load, cfg.Foreground.Name) {
 		p.bg = append(p.bg, workload.NewTask(spec, cfg.Seed+int64(1000+i)))
 	}
+	p.tasks = make([]*workload.Task, 0, 1+len(p.bg))
+	p.tasks = append(p.tasks, p.fg)
+	p.tasks = append(p.tasks, p.bg...)
+	p.fusion = os.Getenv("ASPEO_NO_FUSION") == ""
+	p.plan.tasks = make([]fusedTask, 0, len(p.tasks))
 	if cfg.TraceEvery > 0 {
 		p.rec = trace.NewRecorder(cfg.TraceEvery)
 	}
@@ -390,6 +402,10 @@ func (p *Phone) FGDone() bool { return p.fg.Done() }
 // Step advances the device by dt: tasks demand work, the machine executes
 // within its capacity at the current configuration, and power/energy/
 // telemetry are accounted.
+//
+// Besides advancing the device, Step captures a step plan: the per-step
+// quantities it just computed, which StepN's fast path replays verbatim
+// while the workload's FuseBound contract proves they cannot change.
 func (p *Phone) Step(dt time.Duration) {
 	s := p.soc
 	f := s.Freq(p.freqIdx)
@@ -412,14 +428,22 @@ func (p *Phone) Step(dt time.Duration) {
 		netBps       float64
 	)
 
-	tasks := make([]*workload.Task, 0, 1+len(p.bg))
-	tasks = append(tasks, p.fg)
-	tasks = append(tasks, p.bg...)
+	// A step is plan-capturable only when nothing transient is in play:
+	// no one-shot overlay energy and no full-rate trace recording (the
+	// recorder must see every step individually).
+	capture := p.fusion && p.rec == nil && p.pendingOverlayJ == 0
+	p.plan.valid = false
+	if capture {
+		p.plan.tasks = p.plan.tasks[:0]
+	}
 
 	touchesBefore := p.pendingTouches
 
-	for _, task := range tasks {
+	for _, task := range p.tasks {
 		if task.Done() {
+			if capture {
+				p.plan.tasks = append(p.plan.tasks, fusedTask{task: task, sp: workload.StepPlan{Done: true}})
+			}
 			continue
 		}
 		d := task.Demand(dt)
@@ -441,6 +465,18 @@ func (p *Phone) Step(dt time.Duration) {
 		instrRetired += exec
 		auxW += d.AuxBaseW + d.AuxWPerGIPS*(exec/dtSec)/1e9
 		netBps += d.NetBps
+		if capture {
+			p.plan.tasks = append(p.plan.tasks, fusedTask{
+				task: task,
+				sp: workload.StepPlan{
+					Exec:     exec,
+					MaxInstr: maxInstr,
+					Served:   exec == d.WantedInstr,
+					PhaseIdx: task.PhaseIndex(),
+				},
+				touch: task.TouchActive(),
+			})
+		}
 		task.Advance(exec, dt)
 		p.pendingTouches += task.Touches(dt)
 		if avail <= 0 {
@@ -509,6 +545,175 @@ func (p *Phone) Step(dt time.Duration) {
 		})
 	}
 	p.now += dt
+
+	if capture {
+		p.plan.valid = true
+		p.plan.dt = dt
+		p.plan.freqIdx = p.freqIdx
+		p.plan.bwIdx = p.bwIdx
+		p.plan.perfFrac = p.perfOverheadCPU
+		p.plan.standingW = p.standingOverlay
+		p.plan.machineUsed = machineUsed
+		p.plan.coreSec = activeSec + stalledSec
+		p.plan.traffic = trafficBytes
+		p.plan.instr = instrRetired
+		p.plan.cycles = activeSec * f.Hz()
+		p.plan.powerW = p.lastPowerW
+	}
+}
+
+// --- K-step fusion (fast path) ---
+
+// fusedTask is one task's slice of the cached step plan.
+type fusedTask struct {
+	task  *workload.Task
+	sp    workload.StepPlan
+	touch bool // captured phase generates touch events (consumes rng)
+}
+
+// stepPlan caches what the last slow Step computed, so fastSteps can
+// replay it. Replay is bit-identical because every input that fed the
+// computation is provably unchanged: the configuration and overlay
+// fields below are revalidated before each batch, and each task's
+// FuseBound proves its demand cannot change for the batch length.
+type stepPlan struct {
+	valid   bool
+	dt      time.Duration
+	freqIdx int
+	bwIdx   int
+	// Device-side inputs the plan depends on.
+	perfFrac  float64
+	standingW float64
+	// Per-step accumulator deltas (already clamped).
+	machineUsed float64
+	coreSec     float64
+	traffic     float64
+	instr       float64
+	cycles      float64
+	powerW      float64
+	tasks       []fusedTask
+}
+
+// SetStepFusion enables or disables the K-step fused fast path. Fusion
+// is on by default (or off when the ASPEO_NO_FUSION environment variable
+// is set); results are bit-identical either way — the knob exists so
+// tests and benchmarks can prove exactly that.
+func (p *Phone) SetStepFusion(on bool) {
+	p.fusion = on
+	p.plan.valid = false
+}
+
+// StepFusion reports whether the fused fast path is enabled.
+func (p *Phone) StepFusion() bool { return p.fusion }
+
+// planReady reports whether the cached plan may be replayed for steps of
+// dt under the current device state.
+func (p *Phone) planReady(dt time.Duration) bool {
+	pl := &p.plan
+	return pl.valid && p.fusion && p.rec == nil &&
+		pl.dt == dt &&
+		pl.freqIdx == p.freqIdx && pl.bwIdx == p.bwIdx &&
+		pl.perfFrac == p.perfOverheadCPU && pl.standingW == p.standingOverlay &&
+		p.pendingOverlayJ == 0
+}
+
+// planBudget returns how many steps (≤ limit) the plan can be replayed
+// before any task's demand could change; 0 sends the next step down the
+// slow path.
+func (p *Phone) planBudget(dt time.Duration, limit int) int {
+	k := limit
+	for i := range p.plan.tasks {
+		ft := &p.plan.tasks[i]
+		if ft.sp.Done {
+			if !ft.task.Done() {
+				return 0
+			}
+			continue
+		}
+		b := ft.task.FuseBound(ft.sp, dt)
+		if b <= 0 {
+			return 0
+		}
+		if b < k {
+			k = b
+		}
+	}
+	return k
+}
+
+// fastSteps replays the cached plan for k steps. Bit-identity with k
+// slow steps holds per task: AdvanceN repeats the identical executed
+// amount with sequential floating-point accumulation, touch draws happen
+// in step order from the same per-task rng stream, and a phase
+// transition can only occur on the batch's final step (FuseBound bounds
+// the batch to end there).
+func (p *Phone) fastSteps(dt time.Duration, k int) {
+	pl := &p.plan
+	for i := range pl.tasks {
+		ft := &pl.tasks[i]
+		if ft.sp.Done {
+			continue
+		}
+		t := ft.task
+		if ft.touch {
+			// Touch draws must interleave with advances step by step.
+			for j := 0; j < k; j++ {
+				t.Advance(ft.sp.Exec, dt)
+				p.pendingTouches += t.Touches(dt)
+			}
+		} else {
+			// No rng use before the final step; the final step may
+			// transition into a phase that does generate touches, in
+			// which case the slow path would have drawn for it.
+			t.AdvanceN(ft.sp.Exec, dt, k-1)
+			t.Advance(ft.sp.Exec, dt)
+			if t.TouchActive() {
+				p.pendingTouches += t.Touches(dt)
+			}
+		}
+	}
+	for i := 0; i < k; i++ {
+		p.cumMachineBusySec += pl.machineUsed
+		p.cumBusyCoreSec += pl.coreSec
+		p.cumTrafficBytes += pl.traffic
+	}
+	kd := time.Duration(k) * dt
+	p.cpuHist.Add(p.freqIdx, kd)
+	p.bwHist.Add(p.bwIdx, kd)
+	p.pmu.AddN(pmu.Instructions, pl.instr, k)
+	p.pmu.AddN(pmu.Cycles, pl.cycles, k)
+	p.pmu.AddN(pmu.BusAccessBytes, pl.traffic, k)
+	p.mon.ObserveN(pl.powerW, dt, k)
+	p.now += kd
+}
+
+// StepN advances the device by n steps of dt, replaying the cached step
+// plan in fused batches where the workload's FuseBound contract proves
+// the result is bit-identical to n individual Step calls, and falling
+// back to Step everywhere else. When stopWhenFGDone is set it returns as
+// soon as the step that completed the foreground task finishes, exactly
+// where a step-at-a-time caller would stop. It returns the number of
+// steps executed.
+func (p *Phone) StepN(dt time.Duration, n int, stopWhenFGDone bool) int {
+	ran := 0
+	for ran < n {
+		if p.planReady(dt) {
+			if k := p.planBudget(dt, n-ran); k > 0 {
+				p.fastSteps(dt, k)
+				ran += k
+				if stopWhenFGDone && p.fg.Done() {
+					return ran
+				}
+				continue
+			}
+		}
+		p.Step(dt)
+		ran++
+		if stopWhenFGDone && p.fg.Done() {
+			return ran
+		}
+	}
+	return ran
 }
 
 // traitsOfForeground is a test hook exposing the foreground's current

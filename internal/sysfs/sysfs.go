@@ -22,6 +22,7 @@ import (
 	"strings"
 	"sync"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Errors returned by FS operations.
@@ -72,10 +73,27 @@ func New() *FS {
 // slash, no surrounding whitespace. Trimming slashes can expose more
 // whitespace ("a /" → "a "), so both are trimmed as one predicate, which
 // makes clean idempotent.
+//
+// Already-canonical paths — every constant in this package, i.e. every
+// path on the actuation hot path — are returned as-is without
+// allocating: a path that starts with '/' whose second and last bytes
+// are plain ASCII outside the trim set cannot lose anything to either
+// trim, so the result would be the input verbatim.
 func clean(path string) string {
+	if n := len(path); n >= 2 && path[0] == '/' &&
+		!cleanTrimByte(path[1]) && !cleanTrimByte(path[n-1]) {
+		return path
+	}
 	return "/" + strings.TrimFunc(path, func(r rune) bool {
 		return r == '/' || unicode.IsSpace(r)
 	})
+}
+
+// cleanTrimByte reports whether b, as a single byte, could be trimmed by
+// clean (or could begin a multi-byte rune that might be — anything
+// ≥ utf8.RuneSelf is conservatively sent to the slow path).
+func cleanTrimByte(b byte) bool {
+	return b == '/' || b == ' ' || ('\t' <= b && b <= '\r') || b >= utf8.RuneSelf
 }
 
 // Create registers a file. Writable files accept Write; read-only files
@@ -126,18 +144,20 @@ func (fs *FS) Exists(path string) bool {
 
 // Read returns the file's value.
 func (fs *FS) Read(path string) (string, error) {
+	p := clean(path)
 	fs.mu.RLock()
-	f, ok := fs.files[clean(path)]
-	fs.mu.RUnlock()
+	f, ok := fs.files[p]
 	if !ok {
+		fs.mu.RUnlock()
 		return "", fmt.Errorf("%w: %s", ErrNotExist, path)
 	}
-	if f.readHook != nil {
-		return f.readHook(clean(path)), nil
+	if hook := f.readHook; hook != nil {
+		fs.mu.RUnlock()
+		return hook(p), nil
 	}
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	return f.value, nil
+	v := f.value
+	fs.mu.RUnlock()
+	return v, nil
 }
 
 // Write sets the file's value, running its write hook first. The value is

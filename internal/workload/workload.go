@@ -252,7 +252,7 @@ func (t *Task) Demand(dt time.Duration) Demand {
 	if t.done {
 		return Demand{Traits: t.Spec.Phases[0].Traits}
 	}
-	p := t.Phase()
+	p := &t.Spec.Phases[t.phaseIdx]
 	d := Demand{
 		Traits:      p.Traits,
 		AuxBaseW:    p.AuxBaseW,
@@ -294,7 +294,7 @@ func (t *Task) Advance(executed float64, dt time.Duration) {
 	if t.done {
 		return
 	}
-	p := t.Phase()
+	p := &t.Spec.Phases[t.phaseIdx]
 	t.now += dt
 	t.phaseElapsed += dt
 	t.phaseExec += executed
@@ -352,13 +352,142 @@ func (t *Task) nextPhase() {
 	}
 }
 
+// --- K-step fusion support (sim.Phone.StepN) ---
+//
+// The fixed-step simulator spends most of its time repeating steps whose
+// inputs have not changed: the configuration is constant between actor
+// ticks and a task's demand is constant between jitter resamples and
+// phase transitions. StepPlan/FuseBound let the simulator prove, from
+// task state alone, that the next k steps would execute exactly what the
+// last slow step executed — so it can replay them without recomputing
+// demand or the power model. The contract is bit-identity: a fused step
+// must leave every observable value (task state, rng stream, dropped
+// work) exactly as k slow steps would.
+
+// StepPlan records what one simulator step executed for this task.
+type StepPlan struct {
+	Exec     float64 // instructions the step executed
+	MaxInstr float64 // capacity available to the task that step
+	Served   bool    // Exec == WantedInstr (demand not capacity-clamped)
+	PhaseIdx int     // phase the step executed in
+	Done     bool    // task was already done (step skipped it)
+}
+
+// unboundedSteps is FuseBound's "no task-side limit" answer; callers
+// min() it against engine-side bounds.
+const unboundedSteps = math.MaxInt32
+
+// ceilSteps returns how many dt-steps fit strictly before deadline a,
+// counting the step that crosses it: the largest k with (k-1)·dt < a.
+func ceilSteps(a, dt time.Duration) int {
+	if a <= 0 {
+		return 0
+	}
+	return int((a + dt - 1) / dt)
+}
+
+// FuseBound returns how many consecutive dt-steps the task can repeat
+// sp before its demand could change: during those steps Demand would
+// return the same WantedInstr with the same clamp decision and no rng
+// draw would occur. 0 means the next step must run the slow path. The
+// bound may include the step that ends a paced phase or a windowed
+// batch (Advance handles the transition), but never extends past it.
+func (t *Task) FuseBound(sp StepPlan, dt time.Duration) int {
+	if t.done || sp.Done || t.phaseIdx != sp.PhaseIdx {
+		return 0
+	}
+	p := &t.Spec.Phases[t.phaseIdx]
+	switch p.Kind {
+	case Batch:
+		remaining := p.InstrBudget - t.phaseExec
+		k := unboundedSteps
+		switch {
+		case sp.Served && sp.Exec == 0 && remaining <= 0:
+			// Windowed batch idling out its window: demand stays zero
+			// until the window ends.
+		case sp.Served:
+			// The budget finishes this step; the transition needs the
+			// slow path.
+			return 0
+		case sp.MaxInstr <= 0:
+			// Starved of all capacity: no progress, state frozen.
+		default:
+			// Starved: exec == MaxInstr until the budget approaches.
+			// phaseExec accumulates sequentially in floating point, so
+			// keep a two-step safety margin from the exact boundary.
+			m := (remaining - sp.MaxInstr) / sp.MaxInstr
+			if m < float64(unboundedSteps) {
+				k = int(m) - 1
+			}
+			if k < 1 {
+				return 0
+			}
+		}
+		if p.Duration > 0 {
+			if kw := ceilSteps(p.Duration-t.phaseElapsed, dt); kw < k {
+				k = kw
+			}
+		}
+		return k
+	case Paced:
+		// Never step past the jitter resample deadline: Demand draws
+		// from the rng there (even with σ = 0 the multiplier is
+		// re-evaluated), and past it the demand may change.
+		k := ceilSteps(t.jitterUntil-t.now, dt)
+		if k <= 0 {
+			return 0
+		}
+		if kp := ceilSteps(p.Duration-t.phaseElapsed, dt); kp < k {
+			k = kp
+		}
+		if k <= 0 {
+			return 0
+		}
+		want := p.DemandGIPS * 1e9 * dt.Seconds() * t.jitterMul
+		if sp.Served {
+			// Steady served state: backlog empty and the step executes
+			// exactly the per-step demand.
+			if t.backlog != 0 || want != sp.Exec {
+				return 0
+			}
+		} else {
+			// Starved: the clamp persists only while demand alone
+			// exceeds capacity; a draining backlog (want < capacity)
+			// changes exec per step and must run slow.
+			if want < sp.MaxInstr {
+				return 0
+			}
+		}
+		return k
+	}
+	return 0
+}
+
+// AdvanceN reports n identical steps — bit-identical to n consecutive
+// Advance calls. The fused fast path uses it when FuseBound guarantees
+// the demand is unchanged across the batch.
+func (t *Task) AdvanceN(executed float64, dt time.Duration, n int) {
+	for i := 0; i < n; i++ {
+		t.Advance(executed, dt)
+	}
+}
+
+// PhaseIndex returns the index of the currently executing phase.
+func (t *Task) PhaseIndex() int { return t.phaseIdx }
+
+// TouchActive reports whether the current phase generates touch events —
+// i.e. whether Touches would consume randomness.
+func (t *Task) TouchActive() bool {
+	return !t.done && t.Spec.Phases[t.phaseIdx].TouchRate > 0
+}
+
 // Touches returns the number of user-input events during dt (Poisson
 // with the phase's TouchRate).
 func (t *Task) Touches(dt time.Duration) int {
 	if t.done {
 		return 0
 	}
-	rate := t.Phase().TouchRate * dt.Seconds()
+	rate := t.Spec.Phases[t.phaseIdx].TouchRate * dt.Seconds()
 	if rate <= 0 {
 		return 0
 	}
