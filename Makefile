@@ -1,8 +1,8 @@
 # CI entry points. `make ci` is what .github/workflows/ci.yml runs:
 # vet, build, the full test suite under the race detector, the
-# benchmark regression check against the committed BENCH_6.json record,
-# the fault-campaign, record/replay, fleet control-plane and
-# decision-trace smoke tests, and — when the tools are on PATH —
+# benchmark regression check against the committed BENCH_7.json record,
+# the fault-campaign, record/replay, fleet control-plane, decision-trace
+# and chaos/kill-restore smoke tests, and — when the tools are on PATH —
 # staticcheck and govulncheck.
 
 GO ?= go
@@ -12,9 +12,9 @@ GO ?= go
 # allocs/op visible without paying for statistically stable timings.
 MICROBENCH = $(GO) test -run='^$$' -bench='BenchmarkOptimize|BenchmarkControllerCycle|BenchmarkNewFrontier' -benchtime=1x ./internal/core/...
 
-.PHONY: ci vet build test race bench bench-check bench-campaign smoke-faults smoke-replay smoke-fleet smoke-trace lint vuln fuzz
+.PHONY: ci vet build test race bench bench-check bench-campaign smoke-faults smoke-replay smoke-fleet smoke-trace smoke-chaos lint vuln fuzz
 
-ci: vet build race bench-check smoke-faults smoke-replay smoke-fleet smoke-trace lint vuln
+ci: vet build race bench-check smoke-faults smoke-replay smoke-fleet smoke-trace smoke-chaos lint vuln
 
 vet:
 	$(GO) vet ./...
@@ -31,10 +31,10 @@ race:
 # Refresh the tracked benchmark record: the micro-benchmarks, then the
 # fixed-scenario suite (6 evaluated apps + eBook × 3 background loads
 # under the controller, plus a 256-session fleet slice) written to
-# BENCH_6.json. Run on a quiet machine and commit the result.
+# BENCH_7.json. Run on a quiet machine and commit the result.
 bench:
 	$(MICROBENCH)
-	$(GO) run ./cmd/aspeo-bench -out BENCH_6.json
+	$(GO) run ./cmd/aspeo-bench -out BENCH_7.json
 
 # Regression gate: re-run the suite and fail on >10% regression of
 # calibration-normalized throughput or raw allocs/cycle against the
@@ -42,7 +42,7 @@ bench:
 # (untracked) for inspection.
 bench-check:
 	$(MICROBENCH)
-	$(GO) run ./cmd/aspeo-bench -check BENCH_6.json -out bench-current.json
+	$(GO) run ./cmd/aspeo-bench -check BENCH_7.json -out bench-current.json
 
 # One fault scenario end to end at Quick fidelity: faults delivered,
 # ledger populated, hardened slack bounded by the stock governors'.
@@ -68,6 +68,13 @@ smoke-fleet:
 # diverge at a definite first cycle with attribute deltas.
 smoke-trace:
 	$(GO) test -count=1 -run=TestTraceSmoke ./internal/experiment/
+
+# Durability and chaos, under the race detector: sessions killed after a
+# checkpoint restore bit-identically (session- and fleet-level golden
+# tests), and a 64-session fleet under a seeded panic + checkpoint-write
+# failure plan still lands every session with a consistent ledger.
+smoke-chaos:
+	$(GO) test -count=1 -race -run='TestKillRestore|TestFleetKillRestoreGolden|TestFleetChaosRecovery' ./internal/experiment/ ./internal/fleet/
 
 # staticcheck and govulncheck run when installed (CI installs them);
 # locally they no-op with a note rather than failing the build.

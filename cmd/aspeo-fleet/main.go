@@ -21,6 +21,15 @@
 // SIGTERM/SIGINT drains gracefully: intake closes, queued and running
 // sessions finish (bounded by -drain-timeout, after which they are
 // stopped cooperatively), then the server exits.
+//
+// Crash safety: with -checkpoint-dir set, every running session keeps
+// its latest snapshot on disk and a fleet restarted with -restore
+// resumes them bit-identically:
+//
+//	aspeo-fleet -addr :8080 -checkpoint-dir /var/lib/aspeo/ckpt -restore
+//
+// /healthz reports liveness; /readyz reports readiness (not draining,
+// checkpoint directory writable).
 package main
 
 import (
@@ -47,14 +56,52 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits before stopping sessions cooperatively")
 		flightDir    = flag.String("flight-dir", "", "directory for automatic flight-recorder dumps (NDJSON per escalated session attempt); empty disables dumps")
 		flightCap    = flag.Int("flight-cap", 0, "per-session flight recorder capacity in spans (0 = default, negative disables recording)")
+		ckptDir      = flag.String("checkpoint-dir", "", "directory for per-session crash-safety checkpoints (<id>.ckpt.json, written atomically); empty disables checkpointing")
+		ckptEvery    = flag.Int("checkpoint-every", 0, "checkpoint cadence: control cycles (controller sessions) or simulated seconds (governor sessions); 0 = 25")
+		restore      = flag.Bool("restore", false, "resume the sessions checkpointed in -checkpoint-dir before serving")
+		maxStreams   = flag.Int("max-streams", 0, "max concurrent NDJSON status streams, excess shed with 429 (0 = 64)")
+		reqTimeout   = flag.Duration("request-timeout", 0, "per-request deadline for non-streaming endpoints (0 = 30s)")
 		enablePprof  = flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
 	)
 	flag.Parse()
 
+	// Validate the durability directories up front: an unwritable dump or
+	// checkpoint directory discovered mid-flight would silently cost the
+	// fleet its postmortems or crash safety (those writes are best-effort
+	// by design). A bad path is a usage error, found before serving.
+	if *restore && *ckptDir == "" {
+		usageError("-restore requires -checkpoint-dir")
+	}
+	for _, d := range []struct{ flag, path string }{
+		{"-flight-dir", *flightDir},
+		{"-checkpoint-dir", *ckptDir},
+	} {
+		if d.path == "" {
+			continue
+		}
+		if err := ensureWritableDir(d.path); err != nil {
+			usageError("%s %s: %v", d.flag, d.path, err)
+		}
+	}
+
 	m := fleet.NewManager(fleet.Options{
 		Workers: *workers, Queue: *queue,
 		FlightCap: *flightCap, FlightDir: *flightDir,
+		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery,
+		MaxStreams: *maxStreams, RequestTimeout: *reqTimeout,
 	})
+	if *restore {
+		views, err := m.Restore()
+		if err != nil {
+			// Per-file restore errors are reported but non-fatal: a
+			// damaged checkpoint must not keep the rest of the fleet down.
+			fmt.Fprintf(os.Stderr, "aspeo-fleet: restore: %v\n", err)
+		}
+		for _, v := range views {
+			fmt.Fprintf(os.Stderr, "aspeo-fleet: restored session %s (%s, %d restarts)\n", v.ID, v.Config.App, v.Restarts)
+		}
+		fmt.Fprintf(os.Stderr, "aspeo-fleet: restored %d checkpointed sessions\n", len(views))
+	}
 	handler := fleet.NewServer(m)
 	if *enablePprof {
 		// The profiling surface is opt-in: registered explicitly on the
@@ -70,7 +117,19 @@ func main() {
 		mux.Handle("/", handler)
 		handler = mux
 	}
-	srv := &http.Server{Addr: *addr, Handler: handler}
+	// A hardened server: header/read/idle limits bound slow or abusive
+	// clients, and the write timeout bounds stalled readers. Long-lived
+	// handlers (NDJSON streams, drain) are exempt — they clear or extend
+	// their own per-connection deadlines via http.ResponseController.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer cancel()
@@ -103,4 +162,27 @@ func main() {
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "aspeo-fleet: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aspeo-fleet: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// ensureWritableDir creates dir if needed and proves it accepts writes.
+func ensureWritableDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, ".aspeo-probe-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	if err := f.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Remove(name)
 }

@@ -15,6 +15,8 @@
 //	aspeo-run -app spotify -controller -json      # machine-readable summary on stdout
 //	aspeo-run -app spotify -controller -trace-out run.trace.ndjson   # decision trace
 //	aspeo-run -app spotify -controller -faults combined -flight-out flight.ndjson
+//	aspeo-run -app spotify -controller -checkpoint run.ckpt.json     # crash safety
+//	aspeo-run -app spotify -controller -restore run.ckpt.json        # resume after a kill
 package main
 
 import (
@@ -22,11 +24,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
 
+	"aspeo/internal/ckpt"
 	"aspeo/internal/experiment"
 	"aspeo/internal/governor"
 	"aspeo/internal/obs"
@@ -54,6 +58,9 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write the controller's full decision trace (NDJSON, for aspeo-trace) to this path")
 		flightOut  = flag.String("flight-out", "", "write the flight recorder's ring (last spans before an escalation) to this path when the watchdog tripped or the controller relinquished")
 		flightCap  = flag.Int("flight-cap", 0, "flight recorder ring capacity in spans (0 = default)")
+		ckptOut    = flag.String("checkpoint", "", "keep the session crash-safe: write its latest snapshot to this path (atomically, overwritten in place) every -checkpoint-every cadence points")
+		ckptEvery  = flag.Int("checkpoint-every", 25, "checkpoint cadence: control cycles (controller) or simulated seconds (governor)")
+		restore    = flag.String("restore", "", "resume from a checkpoint written by -checkpoint; the other flags must rebuild the same spec (same app, seed, mode, ...) or the restore is rejected")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 		memprofile = flag.String("memprofile", "", "write a heap profile (taken after the run) to this path")
 	)
@@ -126,6 +133,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
 	}
+	if *ckptOut != "" {
+		spec.CheckpointEvery = *ckptEvery
+		path := *ckptOut
+		spec.OnCheckpoint = func(cs *experiment.CellState) error {
+			return ckpt.Save(ckpt.OS{}, path, runCheckpointKind, nil, cs)
+		}
+	}
 	// Validate up front so a typo'd flag is a usage error, not a silent
 	// fall-through to defaults (an unknown governor used to leave the
 	// device parked at its boot frequency with no policy at all).
@@ -134,10 +148,31 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// Probe the checkpoint destination now: discovering an unwritable
+	// directory at the first cadence point would silently cost the run
+	// its durability (sink failures are counted, not fatal — by design).
+	if *ckptOut != "" {
+		if err := probeWritable(filepath.Dir(*ckptOut)); err != nil {
+			fmt.Fprintf(os.Stderr, "aspeo-run: -checkpoint %s: %v\n", *ckptOut, err)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
 
 	sess, err := experiment.NewSession(spec)
 	if err != nil {
 		fatal("%v", err)
+	}
+	if *restore != "" {
+		cell := new(experiment.CellState)
+		if err := ckpt.Load(ckpt.OS{}, *restore, runCheckpointKind, nil, cell); err != nil {
+			fatal("%v", err)
+		}
+		if err := sess.RestoreState(cell); err != nil {
+			fatal("restoring %s: %v", *restore, err)
+		}
+		fmt.Fprintf(os.Stderr, "aspeo-run: restored from %s (t=%.1fs, cycle %d)\n",
+			*restore, cell.At.Seconds(), cell.CyclesRun)
 	}
 	st := sess.Run(nil)
 	summary := report.NewRunSummary(sess, st)
@@ -172,6 +207,11 @@ func main() {
 		fmt.Println()
 		report.Histogram(os.Stdout, "Memory bandwidth residency", ph.BWHistogram().Percents(), 40)
 	}
+	if *ckptOut != "" {
+		cs := sess.CheckpointStats()
+		fmt.Fprintf(os.Stderr, "aspeo-run: %d checkpoints written to %s (%d failures)\n",
+			cs.Captured, *ckptOut, cs.Failures)
+	}
 	if *traceCSV != "" {
 		writeFile(*traceCSV, ph.Recorder().WriteCSV)
 	}
@@ -197,6 +237,32 @@ func main() {
 			fmt.Fprintln(os.Stderr, "aspeo-run: no escalation; flight recorder not dumped")
 		}
 	}
+}
+
+// runCheckpointKind names aspeo-run's checkpoint payload (a bare
+// session cell; the spec identity lives in the command line that must
+// be repeated on -restore).
+const runCheckpointKind = "aspeo/session-cell"
+
+// probeWritable verifies dir exists (creating it if needed) and accepts
+// writes, so durability failures surface as usage errors up front.
+func probeWritable(dir string) error {
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, ".aspeo-probe-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	if err := f.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Remove(name)
 }
 
 // writeFile streams one recorder export to path.

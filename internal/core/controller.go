@@ -75,6 +75,17 @@ type Options struct {
 	// rollups. It runs on the cell's goroutine; the subscriber is
 	// responsible for its own synchronization.
 	OnCycle func(CycleSnapshot)
+	// CheckpointEvery, together with OnCheckpoint, asks for a session
+	// checkpoint every N control cycles. The controller itself never
+	// snapshots anything — it only signals; the session layer captures
+	// the whole cell at the next engine-loop boundary, where every actor
+	// is quiescent. Observation only and free when unset: the hot path
+	// pays two integer compares per cycle.
+	CheckpointEvery int
+	// OnCheckpoint receives the control-cycle ordinal whenever a
+	// checkpoint is due (see CheckpointEvery). Like OnCycle it runs on
+	// the cell's goroutine and must not touch the controller or device.
+	OnCheckpoint func(cyclesRun int)
 	// Trace enables per-stage decision tracing: every control cycle
 	// emits measure/kalman/optimize/schedule child spans plus a cycle
 	// summary span, and the resilience ladder emits transition events,

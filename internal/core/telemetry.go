@@ -112,4 +112,8 @@ func (c *Controller) publishCycle(dev platform.Device) {
 		}
 		c.opt.OnCycle(snap)
 	}
+	if c.opt.OnCheckpoint != nil && c.opt.CheckpointEvery > 0 &&
+		c.cyclesRun%c.opt.CheckpointEvery == 0 {
+		c.opt.OnCheckpoint(c.cyclesRun)
+	}
 }

@@ -1,0 +1,80 @@
+// Package detrand provides a deterministic, checkpointable random
+// source: a math/rand Source64 that counts how many raw draws it has
+// served. The (seed, draws) pair fully determines the stream position,
+// so a consumer restored from a checkpoint recreates the source and
+// replays the counted draws to land bit-exactly where the original
+// left off.
+//
+// The wrapper delegates to rand.NewSource(seed), which has implemented
+// rand.Source64 since Go 1.8 and advances exactly one internal position
+// per Int63/Uint64 call — so counting source-level draws is exact
+// regardless of how many draws a derived method (Float64, NormFloat64,
+// Poisson inversion, ...) consumes, and a *rand.Rand built over this
+// source produces the identical stream to one built over the bare
+// source.
+package detrand
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Source is a counting rand.Source64.
+type Source struct {
+	seed  int64
+	draws uint64
+	src   rand.Source64
+}
+
+// NewSource returns a counting source seeded like rand.NewSource(seed).
+func NewSource(seed int64) *Source {
+	return &Source{seed: seed, src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// New returns a *rand.Rand over a fresh counting source, plus the source
+// itself for State/Restore access. The stream is identical to
+// rand.New(rand.NewSource(seed)).
+func New(seed int64) (*rand.Rand, *Source) {
+	s := NewSource(seed)
+	return rand.New(s), s
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (s *Source) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+// Seed implements rand.Source. Reseeding resets the draw count: the
+// stream position is again fully described by (seed, draws).
+func (s *Source) Seed(seed int64) {
+	s.seed = seed
+	s.draws = 0
+	s.src.Seed(seed)
+}
+
+// State returns the seed and the number of raw draws served so far.
+func (s *Source) State() (seed int64, draws uint64) { return s.seed, s.draws }
+
+// Restore rewinds the source to the exact position described by a
+// State() pair: it reseeds and replays draws raw reads. Replay is O(n)
+// but n is bounded by the draws a session makes between start and
+// checkpoint (well under a million for the longest runs), and each raw
+// draw is a few additions.
+func (s *Source) Restore(seed int64, draws uint64) error {
+	if draws > 1<<40 {
+		return fmt.Errorf("detrand: implausible draw count %d", draws)
+	}
+	s.Seed(seed)
+	for i := uint64(0); i < draws; i++ {
+		s.src.Uint64()
+	}
+	s.draws = draws
+	return nil
+}

@@ -67,6 +67,17 @@ type SessionSpec struct {
 	// OnCycle subscribes to the controller's per-cycle telemetry
 	// (controller mode only; see core.Options.OnCycle for the contract).
 	OnCycle func(core.CycleSnapshot)
+	// CheckpointEvery, when positive, captures a full session snapshot
+	// every CheckpointEvery control cycles (controller mode) or every
+	// CheckpointEvery seconds of simulated time (governor mode) and
+	// delivers it to OnCheckpoint. Incompatible with TraceEvery (the
+	// trace recorder's ring cannot be restored bit-exactly).
+	CheckpointEvery int
+	// OnCheckpoint receives each captured snapshot (required when
+	// CheckpointEvery is set). The sink owns durability — typically an
+	// atomic write through internal/ckpt. A sink error is counted
+	// (CheckpointStats) and the run continues.
+	OnCheckpoint func(*CellState) error
 	// Trace receives the controller's per-stage decision spans
 	// (controller mode only). A non-nil sink turns on decision tracing
 	// (core.Options.Trace) and is attached to the cell's telemetry
@@ -112,6 +123,17 @@ func (s SessionSpec) Validate() error {
 	if s.RunFor < 0 {
 		return fmt.Errorf("negative run duration %v", s.RunFor)
 	}
+	if s.CheckpointEvery < 0 {
+		return fmt.Errorf("negative checkpoint interval %d", s.CheckpointEvery)
+	}
+	if s.CheckpointEvery > 0 {
+		if s.OnCheckpoint == nil {
+			return fmt.Errorf("CheckpointEvery set without an OnCheckpoint sink")
+		}
+		if s.TraceEvery > 0 {
+			return fmt.Errorf("checkpointing is incompatible with trace recording (TraceEvery)")
+		}
+	}
 	return nil
 }
 
@@ -136,6 +158,17 @@ type Session struct {
 	// controller runs on (0 in governor mode).
 	TableEntries int
 	BaseGIPS     float64
+
+	// Checkpoint plumbing (see checkpoint.go). ckptPending carries the
+	// controller cycle that requested a snapshot (0 = none); nextCkptAt
+	// is the governor-mode schedule; cursor/restored drive Run's resume
+	// path after RestoreState.
+	onCheckpoint func(*CellState) error
+	ckptPending  int
+	nextCkptAt   time.Duration
+	ckptStats    CheckpointStats
+	cursor       sim.RunCursor
+	restored     bool
 }
 
 // NewSession validates the spec and builds the cell: phone, engine,
@@ -187,6 +220,12 @@ func NewSession(spec SessionSpec) (*Session, error) {
 			opts.Resilience = spec.Resilience
 			opts.OnCycle = spec.OnCycle
 			opts.Trace = spec.Trace != nil
+			if spec.CheckpointEvery > 0 {
+				// The controller only signals; the engine hook captures at
+				// the next loop boundary, where the cell is quiescent.
+				opts.CheckpointEvery = spec.CheckpointEvery
+				opts.OnCheckpoint = func(cyclesRun int) { s.ckptPending = cyclesRun }
+			}
 			ctl, err := core.New(opts)
 			if err != nil {
 				return err
@@ -247,6 +286,13 @@ func NewSession(spec SessionSpec) (*Session, error) {
 		h.Phone.AttachSpanSink(spec.Trace)
 	}
 	s.Harness = h
+	if spec.CheckpointEvery > 0 {
+		s.onCheckpoint = spec.OnCheckpoint
+		if !spec.Controller {
+			s.nextCkptAt = time.Duration(spec.CheckpointEvery) * time.Second
+		}
+		h.Engine.SetCheckpointHook(s.pollCheckpoint)
+	}
 	return s, nil
 }
 
@@ -259,6 +305,12 @@ func (s *Session) Run(stop func() bool) sim.Stats {
 	if stop != nil {
 		s.Harness.Engine.SetInterrupt(stop)
 		defer s.Harness.Engine.SetInterrupt(nil)
+	}
+	if s.restored {
+		// A restored session resumes the checkpointed run window; Stats
+		// still cover the original run interval, so the summary matches an
+		// uninterrupted run byte for byte.
+		return s.Harness.Engine.Resume(s.cursor)
 	}
 	if s.Spec.RunFor > 0 {
 		return s.Harness.Engine.Run(s.Spec.RunFor, s.App.DeadlineCritical)

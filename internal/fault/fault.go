@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"time"
 
+	"aspeo/internal/detrand"
 	"aspeo/internal/perftool"
 	"aspeo/internal/platform"
 	"aspeo/internal/soc"
@@ -152,8 +153,9 @@ type Counts struct {
 // decorates platform interfaces, so one Plan torments the simulator, the
 // replay backend, or a real device identically.
 type Injector struct {
-	plan Plan
-	rng  *rand.Rand
+	plan   Plan
+	rng    *rand.Rand
+	rngSrc *detrand.Source
 
 	now      time.Duration
 	nextFire []time.Duration // per hijack; <0 when exhausted
@@ -171,9 +173,11 @@ func NewInjector(plan Plan, seed int64) (*Injector, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
+	rng, src := detrand.New(seed)
 	in := &Injector{
 		plan:     plan,
-		rng:      rand.New(rand.NewSource(seed)),
+		rng:      rng,
+		rngSrc:   src,
 		nextFire: make([]time.Duration, len(plan.Hijacks)),
 	}
 	for i, h := range plan.Hijacks {

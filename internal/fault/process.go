@@ -1,0 +1,150 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"aspeo/internal/ckpt"
+)
+
+// Process-level chaos: where Plan torments a session's I/O surfaces
+// (sysfs writes, perf readings), ProcessPlan torments the runtime
+// around the session — worker panics at chosen control cycles, stalls,
+// and checkpoint-write failures. The fleet manager wires these in; the
+// plan itself is immutable and seeded by attempt/cycle ordinals, so a
+// chaos run is exactly reproducible.
+type ProcessPlan struct {
+	// PanicAtCycle, when positive, panics the session worker when the
+	// controller reaches this control cycle (requires a controller-mode
+	// session — governor cells have no cycles).
+	PanicAtCycle int `json:"panic_at_cycle,omitempty"`
+	// PanicOnAttempts lists the 1-based attempt ordinals on which
+	// PanicAtCycle fires; empty means the first attempt only, so a
+	// restart ladder with budget ≥ 1 always recovers.
+	PanicOnAttempts []int `json:"panic_on_attempts,omitempty"`
+	// StallAtCycle, when positive, injects a wall-clock sleep of
+	// StallFor when the controller reaches this cycle — a hung/slow
+	// backend read, visible to drain deadlines and HTTP request
+	// timeouts but not to the simulated cell.
+	StallAtCycle int           `json:"stall_at_cycle,omitempty"`
+	StallFor     time.Duration `json:"stall_for_ns,omitempty"`
+	// CheckpointFailures lists 1-based ordinals of checkpoint writes
+	// (per manager, across all sessions) that fail at CreateTemp.
+	CheckpointFailures []int `json:"checkpoint_failures,omitempty"`
+}
+
+// Zero reports whether the plan injects nothing.
+func (p ProcessPlan) Zero() bool {
+	return p.PanicAtCycle == 0 && p.StallAtCycle == 0 && len(p.CheckpointFailures) == 0
+}
+
+// Validate rejects unusable plans.
+func (p ProcessPlan) Validate() error {
+	if p.PanicAtCycle < 0 {
+		return fmt.Errorf("fault: negative PanicAtCycle %d", p.PanicAtCycle)
+	}
+	if p.StallAtCycle < 0 {
+		return fmt.Errorf("fault: negative StallAtCycle %d", p.StallAtCycle)
+	}
+	if p.StallAtCycle > 0 && p.StallFor <= 0 {
+		return fmt.Errorf("fault: StallAtCycle without a positive StallFor")
+	}
+	for _, a := range p.PanicOnAttempts {
+		if a < 1 {
+			return fmt.Errorf("fault: attempt ordinal %d (1-based)", a)
+		}
+	}
+	for _, o := range p.CheckpointFailures {
+		if o < 1 {
+			return fmt.Errorf("fault: checkpoint-failure ordinal %d (1-based)", o)
+		}
+	}
+	return nil
+}
+
+// ShouldPanic reports whether the worker running the given 1-based
+// attempt should panic at the given control cycle.
+func (p ProcessPlan) ShouldPanic(attempt, cycle int) bool {
+	if p.PanicAtCycle == 0 || cycle != p.PanicAtCycle {
+		return false
+	}
+	if len(p.PanicOnAttempts) == 0 {
+		return attempt == 1
+	}
+	for _, a := range p.PanicOnAttempts {
+		if a == attempt {
+			return true
+		}
+	}
+	return false
+}
+
+// ShouldStall reports whether to inject the stall at this cycle.
+func (p ProcessPlan) ShouldStall(cycle int) bool {
+	return p.StallAtCycle > 0 && cycle == p.StallAtCycle
+}
+
+// ChaosFS wraps a ckpt.FS and fails chosen checkpoint writes: the Nth
+// CreateTemp (1-based, counted across the FS's lifetime) errors for
+// every N in the plan's CheckpointFailures. All other operations pass
+// through. Safe for concurrent use — fleet workers share one ChaosFS.
+type ChaosFS struct {
+	inner ckpt.FS
+
+	mu     sync.Mutex
+	writes int
+	fail   map[int]bool
+}
+
+// NewChaosFS builds a ChaosFS failing the given 1-based write ordinals.
+func NewChaosFS(inner ckpt.FS, failWrites []int) *ChaosFS {
+	c := &ChaosFS{inner: inner, fail: make(map[int]bool, len(failWrites))}
+	for _, o := range failWrites {
+		c.fail[o] = true
+	}
+	return c
+}
+
+// Writes returns how many checkpoint writes were attempted.
+func (c *ChaosFS) Writes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writes
+}
+
+// MkdirAll implements ckpt.FS.
+func (c *ChaosFS) MkdirAll(dir string) error { return c.inner.MkdirAll(dir) }
+
+// CreateTemp implements ckpt.FS, failing planned ordinals. Only
+// checkpoint writes (the ".ckpt-*" temp pattern) are counted and
+// failed — readiness probes and other temp files pass through, so a
+// /readyz check never shifts the planned failure schedule.
+func (c *ChaosFS) CreateTemp(dir, pattern string) (ckpt.File, error) {
+	if !strings.HasPrefix(pattern, ".ckpt") {
+		return c.inner.CreateTemp(dir, pattern)
+	}
+	c.mu.Lock()
+	c.writes++
+	n := c.writes
+	c.mu.Unlock()
+	if c.fail[n] {
+		return nil, fmt.Errorf("fault: injected checkpoint-write failure (write %d)", n)
+	}
+	return c.inner.CreateTemp(dir, pattern)
+}
+
+// Rename implements ckpt.FS.
+func (c *ChaosFS) Rename(oldpath, newpath string) error { return c.inner.Rename(oldpath, newpath) }
+
+// Remove implements ckpt.FS.
+func (c *ChaosFS) Remove(name string) error { return c.inner.Remove(name) }
+
+// ReadFile implements ckpt.FS.
+func (c *ChaosFS) ReadFile(name string) ([]byte, error) { return c.inner.ReadFile(name) }
+
+// ReadDir implements ckpt.FS.
+func (c *ChaosFS) ReadDir(dir string) ([]string, error) { return c.inner.ReadDir(dir) }
+
+var _ ckpt.FS = (*ChaosFS)(nil)

@@ -1,0 +1,56 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"aspeo/internal/platform"
+)
+
+// state is the JSON shape of a checkpointed injector: the rng stream
+// position, the scenario clock, per-hijack fire schedule, the stuck-read
+// memory, and the delivered-fault tallies. The plan itself is not
+// serialized — a restored cell is rebuilt from the same immutable Plan —
+// but its hijack count is recorded so a mismatched plan fails loudly.
+type state struct {
+	Hijacks  int             `json:"hijacks"`
+	RNGSeed  int64           `json:"rng_seed"`
+	RNGDraws uint64          `json:"rng_draws"`
+	Now      time.Duration   `json:"now_ns"`
+	NextFire []time.Duration `json:"next_fire_ns"`
+	LastGIPS float64         `json:"last_gips"`
+	HaveLast bool            `json:"have_last"`
+	Counts   Counts          `json:"counts"`
+}
+
+// CheckpointState implements platform.Checkpointer.
+func (in *Injector) CheckpointState() (json.RawMessage, error) {
+	seed, draws := in.rngSrc.State()
+	s := state{
+		Hijacks: len(in.plan.Hijacks), RNGSeed: seed, RNGDraws: draws,
+		Now: in.now, NextFire: in.nextFire,
+		LastGIPS: in.lastGIPS, HaveLast: in.haveLast, Counts: in.counts,
+	}
+	return json.Marshal(s)
+}
+
+// RestoreState implements platform.Checkpointer.
+func (in *Injector) RestoreState(raw json.RawMessage, _ platform.Device) error {
+	var s state
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return fmt.Errorf("fault: %w", err)
+	}
+	if s.Hijacks != len(in.plan.Hijacks) || len(s.NextFire) != len(in.plan.Hijacks) {
+		return fmt.Errorf("fault: restore state for %d hijacks into plan with %d", s.Hijacks, len(in.plan.Hijacks))
+	}
+	if err := in.rngSrc.Restore(s.RNGSeed, s.RNGDraws); err != nil {
+		return fmt.Errorf("fault: %w", err)
+	}
+	in.now = s.Now
+	copy(in.nextFire, s.NextFire)
+	in.lastGIPS = s.LastGIPS
+	in.haveLast = s.HaveLast
+	in.counts = s.Counts
+	return nil
+}

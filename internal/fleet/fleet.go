@@ -33,8 +33,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aspeo/internal/ckpt"
 	"aspeo/internal/core"
 	"aspeo/internal/experiment"
+	"aspeo/internal/fault"
 	"aspeo/internal/obs"
 	"aspeo/internal/par"
 	"aspeo/internal/platform"
@@ -144,6 +146,59 @@ type Options struct {
 	// (NDJSON, one file per escalated attempt) whenever a session's
 	// watchdog ladder escalates or the controller relinquishes.
 	FlightDir string
+	// CheckpointDir, when set, makes sessions crash-safe: each running
+	// session's latest snapshot is written atomically to
+	// <dir>/<id>.ckpt.json and removed when the session lands in a
+	// terminal state. Restore resubmits the sessions found there after
+	// a crash.
+	CheckpointDir string
+	// CheckpointEvery is the snapshot cadence — controller cycles for
+	// controller sessions, simulated seconds for governor sessions
+	// (<= 0 selects 25).
+	CheckpointEvery int
+	// CheckpointFS overrides the filesystem checkpoint writes go
+	// through (the chaos harness injects failures here); nil selects
+	// the real one.
+	CheckpointFS ckpt.FS
+	// RequestTimeout bounds non-streaming control-plane request
+	// handling (<= 0 selects 30s). NDJSON streams and drain are exempt
+	// — they are long-lived by design and guard their own writes.
+	RequestTimeout time.Duration
+	// MaxStreams bounds concurrent NDJSON status streams; excess
+	// requests are shed with 429 (<= 0 selects 64).
+	MaxStreams int
+	// Chaos injects process-level faults — seeded worker panics,
+	// stalls, checkpoint-write failures — for the chaos tests. The zero
+	// value injects nothing.
+	Chaos fault.ProcessPlan
+}
+
+// Defaults for the zero-valued knobs above.
+const (
+	defaultCheckpointEvery = 25
+	defaultRequestTimeout  = 30 * time.Second
+	defaultMaxStreams      = 64
+)
+
+func (o Options) checkpointEvery() int {
+	if o.CheckpointEvery <= 0 {
+		return defaultCheckpointEvery
+	}
+	return o.CheckpointEvery
+}
+
+func (o Options) requestTimeout() time.Duration {
+	if o.RequestTimeout <= 0 {
+		return defaultRequestTimeout
+	}
+	return o.RequestTimeout
+}
+
+func (o Options) maxStreams() int {
+	if o.MaxStreams <= 0 {
+		return defaultMaxStreams
+	}
+	return o.MaxStreams
 }
 
 // numShards spreads the session store over independently locked maps so
@@ -166,28 +221,55 @@ type Manager struct {
 	seq       atomic.Uint64 // session ordinal source
 	submitted atomic.Int64
 	restarts  atomic.Int64
+	panics    atomic.Int64 // worker panics recovered
+	ckptDone  atomic.Int64 // checkpoints written durably
 	draining  atomic.Bool
+
+	ckptFS    ckpt.FS
+	streamSem chan struct{} // bounds concurrent NDJSON streams
 
 	agg aggregator
 
 	// reg is the manager's long-lived metrics registry: rollup families
 	// refreshed at scrape time plus live instruments fed from session
 	// telemetry (the measured-GIPS histogram below).
-	reg      *obs.Registry
-	gipsHist obs.Histogram
+	reg       *obs.Registry
+	gipsHist  obs.Histogram
+	cPanics   obs.CounterVec // aspeo_fleet_panics_recovered_total{boundary}
+	cCkpt     obs.Counter    // aspeo_fleet_checkpoints_written_total
+	cCkptFail obs.Counter    // aspeo_fleet_checkpoint_failures_total
+	cShed     obs.CounterVec // aspeo_fleet_requests_shed_total{reason}
 }
 
-// NewManager starts the worker pool and returns a ready manager.
+// NewManager starts the worker pool and returns a ready manager. It
+// panics on an unusable chaos plan — a construction-time configuration
+// error, not a runtime condition.
 func NewManager(o Options) *Manager {
+	if err := o.Chaos.Validate(); err != nil {
+		panic(err)
+	}
 	m := &Manager{pool: par.NewPool(o.Workers, o.Queue), opts: o}
 	for i := range m.shards {
 		m.shards[i].m = make(map[string]*session)
 	}
 	m.agg.start = time.Now()
+	m.ckptFS = o.CheckpointFS
+	if m.ckptFS == nil {
+		m.ckptFS = ckpt.OS{}
+	}
+	m.streamSem = make(chan struct{}, o.maxStreams())
 	m.reg = obs.NewRegistry()
 	m.gipsHist = m.reg.Histogram("aspeo_fleet_measured_gips",
 		"Per-cycle measured performance across all controller sessions.",
 		[]float64{0.25, 0.5, 1, 2, 4, 8, 16, 32})
+	m.cPanics = m.reg.CounterVec("aspeo_fleet_panics_recovered_total",
+		"Panics recovered at containment boundaries.", "boundary")
+	m.cCkpt = m.reg.Counter("aspeo_fleet_checkpoints_written_total",
+		"Session checkpoints written durably.")
+	m.cCkptFail = m.reg.Counter("aspeo_fleet_checkpoint_failures_total",
+		"Session checkpoint writes that failed (the session continued).")
+	m.cShed = m.reg.CounterVec("aspeo_fleet_requests_shed_total",
+		"Control-plane requests shed by overload protection.", "reason")
 	return m
 }
 
@@ -375,8 +457,10 @@ func (m *Manager) Draining() bool { return m.draining.Load() }
 // throughput, and the summed energy/performance/health figures.
 func (m *Manager) Rollup() report.FleetRollup {
 	r := report.FleetRollup{
-		Submitted: int(m.submitted.Load()),
-		Restarts:  int(m.restarts.Load()),
+		Submitted:          int(m.submitted.Load()),
+		Restarts:           int(m.restarts.Load()),
+		PanicsRecovered:    int(m.panics.Load()),
+		CheckpointsWritten: int(m.ckptDone.Load()),
 	}
 	var gipsSum, errSum float64
 	var finished, ctlFinished int

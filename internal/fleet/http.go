@@ -26,23 +26,37 @@ import (
 //	POST /api/v1/drain               stop intake, wait for the fleet
 //	GET  /metrics                    Prometheus text exposition
 //	GET  /healthz                    liveness
+//	GET  /readyz                     readiness (not draining, checkpoint dir writable)
+//
+// Robustness: every handler runs under a recover boundary (a handler
+// panic answers 500 and is counted, never kills the process); queue-full
+// submissions answer 429 with Retry-After; concurrent NDJSON streams
+// are bounded (Options.MaxStreams, excess shed with 429); non-streaming
+// handlers are bounded by Options.RequestTimeout (streams and drain are
+// exempt — they are long-lived by design).
 func NewServer(m *Manager) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+	// timed wraps the quick request/response handlers in the per-request
+	// deadline. http.TimeoutHandler answers 503 with the JSON body below
+	// once the budget is spent, whatever the handler is stuck on.
+	timed := func(h http.HandlerFunc) http.Handler {
+		return http.TimeoutHandler(h, m.opts.requestTimeout(), `{"error":"request deadline exceeded"}`)
+	}
+	mux.Handle("POST /api/v1/sessions", timed(func(w http.ResponseWriter, r *http.Request) {
 		handleSubmit(m, w, r)
-	})
-	mux.HandleFunc("GET /api/v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.Handle("GET /api/v1/sessions", timed(func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.List(State(r.URL.Query().Get("state"))))
-	})
-	mux.HandleFunc("GET /api/v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.Handle("GET /api/v1/sessions/{id}", timed(func(w http.ResponseWriter, r *http.Request) {
 		v, err := m.Get(r.PathValue("id"))
 		if err != nil {
 			writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, v)
-	})
-	mux.HandleFunc("POST /api/v1/sessions/{id}/stop", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.Handle("POST /api/v1/sessions/{id}/stop", timed(func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		if err := m.Stop(id); err != nil {
 			writeError(w, err)
@@ -50,11 +64,11 @@ func NewServer(m *Manager) http.Handler {
 		}
 		v, _ := m.Get(id)
 		writeJSON(w, http.StatusAccepted, v)
-	})
+	}))
 	mux.HandleFunc("GET /api/v1/sessions/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
 		handleStream(m, w, r)
 	})
-	mux.HandleFunc("GET /api/v1/sessions/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("GET /api/v1/sessions/{id}/trace", timed(func(w http.ResponseWriter, r *http.Request) {
 		spans, err := m.TraceSnapshot(r.PathValue("id"))
 		if err != nil {
 			writeError(w, err)
@@ -63,33 +77,71 @@ func NewServer(m *Manager) http.Handler {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.WriteHeader(http.StatusOK)
 		_ = obs.WriteNDJSON(w, spans)
-	})
-	mux.HandleFunc("GET /api/v1/rollup", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.Handle("GET /api/v1/rollup", timed(func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Rollup())
-	})
+	}))
 	mux.HandleFunc("POST /api/v1/drain", func(w http.ResponseWriter, r *http.Request) {
+		// Drain waits for the whole fleet to land, so it outlives the
+		// server-wide read/write timeouts by design; exempt this request
+		// from them (no-ops when the server sets none).
+		rc := http.NewResponseController(w)
+		_ = rc.SetReadDeadline(time.Time{})
+		_ = rc.SetWriteDeadline(time.Time{})
 		if err := m.Drain(r.Context()); err != nil {
 			writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, m.Rollup())
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("GET /metrics", timed(func(w http.ResponseWriter, r *http.Request) {
 		// Refresh the rollup families on the manager's long-lived
 		// registry, then render everything on it — rollup and live
 		// instruments alike — through the one text encoder.
 		report.RollupMetrics(m.Registry(), m.Rollup())
 		w.Header().Set("Content-Type", obs.ContentType)
 		_ = m.Registry().WriteText(w)
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.Handle("GET /healthz", timed(func(w http.ResponseWriter, r *http.Request) {
 		status := "ok"
 		if m.Draining() {
 			status = "draining"
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": status})
+	}))
+	mux.Handle("GET /readyz", timed(func(w http.ResponseWriter, r *http.Request) {
+		probs := m.ReadyProblems()
+		if len(probs) == 0 {
+			writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+			return
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "unready", "problems": probs,
+		})
+	}))
+	return withRecovery(m, mux)
+}
+
+// withRecovery is the control plane's panic boundary: a panicking
+// handler answers 500 (when the response has not started) and is
+// counted in aspeo_fleet_panics_recovered_total{boundary="http"} —
+// one broken request must never take down the fleet process.
+func withRecovery(m *Manager, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					// The server's own way of aborting a response
+					// (client gone mid-stream); let it propagate.
+					panic(rec)
+				}
+				m.cPanics.With("http").Inc()
+				writeJSON(w, http.StatusInternalServerError,
+					errorBody(fmt.Errorf("internal error: %v", rec)))
+			}
+		}()
+		h.ServeHTTP(w, r)
 	})
-	return mux
 }
 
 // submitRequest is the POST /api/v1/sessions body: one config, fanned
@@ -129,7 +181,12 @@ func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			// Partial acceptance is reported honestly: what landed is
 			// in "sessions", what stopped intake in "error".
-			writeJSON(w, statusFor(err), struct {
+			status := statusFor(err)
+			if status == http.StatusTooManyRequests {
+				m.cShed.With("queue_full").Inc()
+				w.Header().Set("Retry-After", "1")
+			}
+			writeJSON(w, status, struct {
 				Sessions []SessionView `json:"sessions"`
 				Error    string        `json:"error"`
 			}{views, err.Error()})
@@ -146,6 +203,25 @@ func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
 // per line — every interval until the session lands in a terminal state
 // (the final view is always emitted) or the client goes away.
 func handleStream(m *Manager, w http.ResponseWriter, r *http.Request) {
+	// Bound concurrent streams: each holds a connection and a goroutine
+	// for a session's whole life, so an unbounded count is a resource
+	// leak an impatient dashboard can trigger. Excess is shed, not
+	// queued — the client knows immediately and can back off.
+	select {
+	case m.streamSem <- struct{}{}:
+		defer func() { <-m.streamSem }()
+	default:
+		m.cShed.With("max_streams").Inc()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests,
+			errorBody(fmt.Errorf("too many concurrent streams (max %d)", m.opts.maxStreams())))
+		return
+	}
+	// A healthy stream lives far past the server-wide read/write
+	// timeouts: clear the read deadline (nothing more arrives from the
+	// client) and extend the write deadline per emit below.
+	rc := http.NewResponseController(w)
+	_ = rc.SetReadDeadline(time.Time{})
 	id := r.PathValue("id")
 	s, err := m.lookup(id)
 	if err != nil {
@@ -165,8 +241,12 @@ func handleStream(m *Manager, w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 
+	// Each write extends its own per-connection deadline, so a healthy
+	// stream lives for hours while a stalled client is cut off within a
+	// request-timeout of its last successful write.
 	enc := json.NewEncoder(w)
 	emit := func() bool {
+		_ = rc.SetWriteDeadline(time.Now().Add(m.opts.requestTimeout()))
 		v := s.view()
 		if err := enc.Encode(v); err != nil {
 			return false
@@ -210,7 +290,12 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
-	case errors.Is(err, ErrDraining), errors.Is(err, par.ErrQueueFull), errors.Is(err, par.ErrPoolClosed):
+	case errors.Is(err, par.ErrQueueFull):
+		// Transient backpressure: the queue drains as workers free up,
+		// so the right client response is to retry shortly — 429 +
+		// Retry-After, not a generic 503.
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining), errors.Is(err, par.ErrPoolClosed):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
@@ -218,5 +303,9 @@ func statusFor(err error) int {
 }
 
 func writeError(w http.ResponseWriter, err error) {
-	writeJSON(w, statusFor(err), errorBody(err))
+	status := statusFor(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, errorBody(err))
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aspeo/internal/ckpt"
 	"aspeo/internal/core"
 	"aspeo/internal/experiment"
 	"aspeo/internal/obs"
@@ -30,6 +31,16 @@ type session struct {
 	seq  uint64
 	cfg  Config
 	stop atomic.Bool
+
+	// Restore-on-start: a session resubmitted from a checkpoint resumes
+	// from this snapshot on its first attempt. baseAttempt is the
+	// attempt ordinal the snapshot was taken under — the restored
+	// attempt must rebuild with that attempt's seed to restore into an
+	// identical cell. Both are written before the worker starts (the
+	// pool submit is the happens-before edge) and only the worker reads
+	// them.
+	resume      *experiment.CellState
+	baseAttempt int
 
 	mu          sync.Mutex
 	state       State
@@ -111,6 +122,7 @@ func (v SessionView) Terminal() bool { return v.State.Terminal() }
 func (m *Manager) runSession(s *session) {
 	if s.stop.Load() {
 		s.finish(StateStopped, "stopped before start")
+		m.removeCheckpoint(s.id)
 		return
 	}
 	s.mu.Lock()
@@ -118,18 +130,21 @@ func (m *Manager) runSession(s *session) {
 	s.startedAt = time.Now()
 	s.mu.Unlock()
 
-	for attempt := 0; ; attempt++ {
+	for attempt := s.baseAttempt; ; attempt++ {
 		failure := m.runAttempt(s, attempt)
 		if s.stop.Load() {
 			s.finish(StateStopped, "")
+			m.removeCheckpoint(s.id)
 			return
 		}
 		if failure == "" {
 			s.finish(StateCompleted, "")
+			m.removeCheckpoint(s.id)
 			return
 		}
 		if attempt >= s.cfg.MaxRestarts {
 			s.finish(StateFailed, failure)
+			m.removeCheckpoint(s.id)
 			return
 		}
 		m.restarts.Add(1)
@@ -141,11 +156,28 @@ func (m *Manager) runSession(s *session) {
 }
 
 // runAttempt builds and runs one cell. It returns "" on success or a
-// failure description: a construction error, a run that died, or a
-// controller that relinquished the device — the resilience ladder's
-// terminal rung, which the fleet treats as session failure (the
-// controller-managed run it was asked for did not survive).
+// failure description: a construction error, a run that died, a worker
+// panic (contained here — the deferred recover converts it into an
+// ordinary failed attempt feeding the restart ladder), or a controller
+// that relinquished the device — the resilience ladder's terminal rung,
+// which the fleet treats as session failure (the controller-managed run
+// it was asked for did not survive).
 func (m *Manager) runAttempt(s *session, attempt int) (failure string) {
+	var rec *obs.Recorder
+	defer func() {
+		if r := recover(); r != nil {
+			failure = fmt.Sprintf("panic: %v", r)
+			m.panics.Add(1)
+			m.cPanics.With("worker").Inc()
+			if rec != nil {
+				// The flight recorder holds the decision spans leading up
+				// to the panic — exactly the postmortem record FlightDir
+				// exists for.
+				m.dumpFlight(s, attempt, rec)
+			}
+		}
+	}()
+
 	spec := s.cfg.spec(s.cfg.Seed + int64(attempt)*restartSeedStride)
 	spec.OnCycle = func(cs core.CycleSnapshot) {
 		m.agg.observeCycle()
@@ -154,11 +186,37 @@ func (m *Manager) runAttempt(s *session, attempt int) (failure string) {
 		s.lastSnap = &cs
 		s.mu.Unlock()
 	}
+	if chaos := m.opts.Chaos; !chaos.Zero() {
+		inner := spec.OnCycle
+		att := attempt + 1 // the plan speaks 1-based attempts
+		spec.OnCycle = func(cs core.CycleSnapshot) {
+			inner(cs)
+			if chaos.ShouldStall(cs.CyclesRun) {
+				time.Sleep(chaos.StallFor)
+			}
+			if chaos.ShouldPanic(att, cs.CyclesRun) {
+				panic(fmt.Sprintf("fault: injected worker panic at cycle %d (attempt %d)", cs.CyclesRun, att))
+			}
+		}
+	}
+	if m.opts.CheckpointDir != "" {
+		path := m.checkpointPath(s.id)
+		meta := checkpointMeta{ID: s.id, Seq: s.seq, Config: s.cfg, Attempt: attempt}
+		spec.CheckpointEvery = m.opts.checkpointEvery()
+		spec.OnCheckpoint = func(cs *experiment.CellState) error {
+			if err := ckpt.Save(m.ckptFS, path, checkpointKind, meta, cs); err != nil {
+				m.cCkptFail.Inc()
+				return err
+			}
+			m.ckptDone.Add(1)
+			m.cCkpt.Inc()
+			return nil
+		}
+	}
 
 	// Each controller attempt gets a fresh flight recorder: the bounded
 	// ring of recent decision spans, readable live (TraceSnapshot / the
 	// trace endpoint) and dumped to FlightDir when the attempt escalates.
-	var rec *obs.Recorder
 	if s.cfg.Controller && m.opts.FlightCap >= 0 {
 		rec = obs.NewRecorder(m.opts.FlightCap)
 		spec.Trace = rec
@@ -170,6 +228,13 @@ func (m *Manager) runAttempt(s *session, attempt int) (failure string) {
 	sess, err := experiment.NewSession(spec)
 	if err != nil {
 		return err.Error()
+	}
+	if s.resume != nil && attempt == s.baseAttempt {
+		cs := s.resume
+		s.resume = nil // a failed restore must not replay on the retry
+		if err := sess.RestoreState(cs); err != nil {
+			return fmt.Sprintf("restoring checkpoint: %v", err)
+		}
 	}
 	st := sess.Run(s.stop.Load)
 	sum := report.NewRunSummary(sess, st)

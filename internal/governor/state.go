@@ -1,0 +1,114 @@
+package governor
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"aspeo/internal/platform"
+)
+
+// Checkpoint states for the policy engines. Only evaluation state is
+// captured — tunables live either in the constructor (restored cells are
+// rebuilt with the same tunables) or in sysfs (covered by the sysfs
+// value snapshot). The interactive governor is special: its sysfs
+// tunable files are created at its first tick, so RestoreState
+// republishes them before the checkpointed sysfs values are applied.
+
+type interactiveState struct {
+	LastBusy    float64       `json:"last_busy"`
+	LastTime    time.Duration `json:"last_time_ns"`
+	FloorUntil  time.Duration `json:"floor_until_ns"`
+	BoostUntil  time.Duration `json:"boost_until_ns"`
+	HispeedTime time.Duration `json:"hispeed_time_ns"`
+	Initialized bool          `json:"initialized"`
+}
+
+type sampledState struct {
+	LastBusy    float64       `json:"last_busy"`
+	LastTime    time.Duration `json:"last_time_ns"`
+	NextSample  time.Duration `json:"next_sample_ns"`
+	Initialized bool          `json:"initialized"`
+}
+
+type hwmonState struct {
+	LastBytes   float64       `json:"last_bytes"`
+	LastTime    time.Duration `json:"last_time_ns"`
+	LowSince    time.Duration `json:"low_since_ns"`
+	Initialized bool          `json:"initialized"`
+}
+
+type cpufreqState struct {
+	Interactive  interactiveState `json:"interactive"`
+	Ondemand     sampledState     `json:"ondemand"`
+	Conservative sampledState     `json:"conservative"`
+}
+
+// CheckpointState implements platform.Checkpointer.
+func (c *CPUFreq) CheckpointState() (json.RawMessage, error) {
+	g, o, v := c.interactive, c.ondemand, c.conservative
+	s := cpufreqState{
+		Interactive: interactiveState{
+			LastBusy: g.lastBusy, LastTime: g.lastTime,
+			FloorUntil: g.floorUntil, BoostUntil: g.boostUntil,
+			HispeedTime: g.hispeedTime, Initialized: g.initialized,
+		},
+		Ondemand: sampledState{
+			LastBusy: o.lastBusy, LastTime: o.lastTime,
+			NextSample: o.nextSample, Initialized: o.initialized,
+		},
+		Conservative: sampledState{
+			LastBusy: v.lastBusy, LastTime: v.lastTime,
+			NextSample: v.nextSample, Initialized: v.initialized,
+		},
+	}
+	return json.Marshal(s)
+}
+
+// RestoreState implements platform.Checkpointer. When the interactive
+// governor had already initialized, its sysfs tunable files are
+// recreated (with their write-validation hooks) so the subsequent sysfs
+// value restore can land the checkpointed tunable values on them.
+func (c *CPUFreq) RestoreState(raw json.RawMessage, dev platform.Device) error {
+	var s cpufreqState
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return fmt.Errorf("governor: cpufreq: %w", err)
+	}
+	g := c.interactive
+	g.lastBusy, g.lastTime = s.Interactive.LastBusy, s.Interactive.LastTime
+	g.floorUntil, g.boostUntil = s.Interactive.FloorUntil, s.Interactive.BoostUntil
+	g.hispeedTime = s.Interactive.HispeedTime
+	g.initialized = s.Interactive.Initialized
+	if g.initialized && dev != nil {
+		g.publishTunables(dev)
+	}
+	o := c.ondemand
+	o.lastBusy, o.lastTime = s.Ondemand.LastBusy, s.Ondemand.LastTime
+	o.nextSample, o.initialized = s.Ondemand.NextSample, s.Ondemand.Initialized
+	v := c.conservative
+	v.lastBusy, v.lastTime = s.Conservative.LastBusy, s.Conservative.LastTime
+	v.nextSample, v.initialized = s.Conservative.NextSample, s.Conservative.Initialized
+	return nil
+}
+
+// CheckpointState implements platform.Checkpointer.
+func (d *DevFreq) CheckpointState() (json.RawMessage, error) {
+	h := d.hwmon
+	s := hwmonState{
+		LastBytes: h.lastBytes, LastTime: h.lastTime,
+		LowSince: h.lowSince, Initialized: h.initialized,
+	}
+	return json.Marshal(s)
+}
+
+// RestoreState implements platform.Checkpointer.
+func (d *DevFreq) RestoreState(raw json.RawMessage, _ platform.Device) error {
+	var s hwmonState
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return fmt.Errorf("governor: devfreq: %w", err)
+	}
+	h := d.hwmon
+	h.lastBytes, h.lastTime = s.LastBytes, s.LastTime
+	h.lowSince, h.initialized = s.LowSince, s.Initialized
+	return nil
+}

@@ -1,0 +1,32 @@
+package histogram
+
+import (
+	"fmt"
+	"time"
+)
+
+// ResidencyState is a checkpointable snapshot of a Residency histogram.
+// Durations are integer nanoseconds, so the round-trip is exact.
+type ResidencyState struct {
+	Buckets []time.Duration `json:"buckets_ns"`
+	Total   time.Duration   `json:"total_ns"`
+}
+
+// State captures the histogram for a checkpoint.
+func (r *Residency) State() ResidencyState {
+	out := ResidencyState{Buckets: make([]time.Duration, len(r.buckets)), Total: r.total}
+	copy(out.Buckets, r.buckets)
+	return out
+}
+
+// Restore overwrites the histogram with a previously captured State. The
+// bucket count must match the ladder the histogram was built over.
+func (r *Residency) Restore(s ResidencyState) error {
+	if len(s.Buckets) != len(r.buckets) {
+		return fmt.Errorf("histogram %s: restore with %d buckets, have %d",
+			r.name, len(s.Buckets), len(r.buckets))
+	}
+	copy(r.buckets, s.Buckets)
+	r.total = s.Total
+	return nil
+}

@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"time"
 
+	"aspeo/internal/detrand"
 	"aspeo/internal/platform"
 	"aspeo/internal/pmu"
 )
@@ -66,6 +67,7 @@ type FaultHook func(r Reading) (out Reading, keep bool)
 type Perf struct {
 	period time.Duration
 	rng    *rand.Rand
+	rngSrc *detrand.Source
 
 	prev        pmu.Snapshot
 	prevAt      time.Duration
@@ -90,7 +92,8 @@ func New(period time.Duration, seed int64) (*Perf, error) {
 	if period < MinSamplingPeriod {
 		return nil, fmt.Errorf("perftool: period %v below device minimum %v", period, MinSamplingPeriod)
 	}
-	return &Perf{period: period, rng: rand.New(rand.NewSource(seed))}, nil
+	rng, src := detrand.New(seed)
+	return &Perf{period: period, rng: rng, rngSrc: src}, nil
 }
 
 // MustNew is New but panics on invalid periods.

@@ -1,0 +1,78 @@
+package perftool
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"aspeo/internal/platform"
+	"aspeo/internal/pmu"
+)
+
+// state is the JSON shape of a checkpointed perf reader. The noise rng
+// is stored as its (seed, draws) stream position; the reading ring is
+// stored verbatim so MeanOver sees the identical trailing window after
+// a restore.
+type state struct {
+	Period      time.Duration `json:"period_ns"`
+	RNGSeed     int64         `json:"rng_seed"`
+	RNGDraws    uint64        `json:"rng_draws"`
+	PrevInstr   float64       `json:"prev_instr"`
+	PrevCycles  float64       `json:"prev_cycles"`
+	PrevBus     float64       `json:"prev_bus"`
+	PrevAt      time.Duration `json:"prev_at_ns"`
+	Initialized bool          `json:"initialized"`
+	Last        Reading       `json:"last"`
+	History     []Reading     `json:"history"`
+	HistPos     int           `json:"hist_pos"`
+	HistN       int           `json:"hist_n"`
+	Seq         int           `json:"seq"`
+	Attached    bool          `json:"attached"`
+	Dropped     int           `json:"dropped"`
+}
+
+// CheckpointState implements platform.Checkpointer.
+func (p *Perf) CheckpointState() (json.RawMessage, error) {
+	seed, draws := p.rngSrc.State()
+	instr, cycles, bus := p.prev.Values()
+	s := state{
+		Period: p.period, RNGSeed: seed, RNGDraws: draws,
+		PrevInstr: instr, PrevCycles: cycles, PrevBus: bus,
+		PrevAt: p.prevAt, Initialized: p.initialized, Last: p.last,
+		History: p.history[:], HistPos: p.histPos, HistN: p.histN,
+		Seq: p.seq, Attached: p.attached, Dropped: p.dropped,
+	}
+	return json.Marshal(s)
+}
+
+// RestoreState implements platform.Checkpointer. The fault hook is a
+// live wiring concern (re-installed by session construction), not
+// state, and is left untouched.
+func (p *Perf) RestoreState(raw json.RawMessage, _ platform.Device) error {
+	var s state
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return fmt.Errorf("perftool: %w", err)
+	}
+	if s.Period != p.period {
+		return fmt.Errorf("perftool: restore period %v into reader at %v", s.Period, p.period)
+	}
+	if len(s.History) != historyLen {
+		return fmt.Errorf("perftool: restore history of %d readings, ring holds %d", len(s.History), historyLen)
+	}
+	if s.HistPos < 0 || s.HistPos >= historyLen || s.HistN < 0 || s.HistN > historyLen {
+		return fmt.Errorf("perftool: restore ring cursor %d/%d out of range", s.HistPos, s.HistN)
+	}
+	if err := p.rngSrc.Restore(s.RNGSeed, s.RNGDraws); err != nil {
+		return fmt.Errorf("perftool: %w", err)
+	}
+	p.prev = pmu.SnapshotAt(s.PrevInstr, s.PrevCycles, s.PrevBus)
+	p.prevAt = s.PrevAt
+	p.initialized = s.Initialized
+	p.last = s.Last
+	copy(p.history[:], s.History)
+	p.histPos, p.histN = s.HistPos, s.HistN
+	p.seq = s.Seq
+	p.attached = s.Attached
+	p.dropped = s.Dropped
+	return nil
+}

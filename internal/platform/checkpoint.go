@@ -1,0 +1,21 @@
+package platform
+
+import "encoding/json"
+
+// Checkpointer is implemented by actors (and other engine-owned
+// components) whose internal state must survive a session checkpoint.
+// CheckpointState returns a self-contained JSON document; RestoreState
+// rebuilds the component from one, with the device available for
+// components that must re-create runtime artifacts (e.g. a governor
+// republishing its sysfs tunable files before the checkpointed file
+// values are applied).
+//
+// The contract is bit-exactness: a component restored from its own
+// CheckpointState must behave identically to the uninterrupted original
+// from the capture point on. Snapshots are taken only between engine
+// steps, when every actor is quiescent, so implementations never need
+// to worry about mid-tick consistency.
+type Checkpointer interface {
+	CheckpointState() (json.RawMessage, error)
+	RestoreState(state json.RawMessage, dev Device) error
+}

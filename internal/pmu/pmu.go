@@ -104,6 +104,23 @@ func SnapshotAt(instructions, cycles, busAccessBytes float64) Snapshot {
 	return s
 }
 
+// Values returns the snapshot's absolute counter values in counter
+// order (instructions, cycles, bus-access bytes) — the inverse of
+// SnapshotAt, used when checkpointing counter state.
+func (cur Snapshot) Values() (instructions, cycles, busAccessBytes float64) {
+	return cur.values[Instructions], cur.values[Cycles], cur.values[BusAccessBytes]
+}
+
+// Restore overwrites the live counters with a snapshot's values. The
+// checkpoint/restore path uses it to resume a session with the exact
+// counter state the original run had, so every downstream delta (perf
+// windows, run summaries) reproduces bit-for-bit.
+func (p *PMU) Restore(s Snapshot) {
+	p.mu.Lock()
+	p.counts = s.values
+	p.mu.Unlock()
+}
+
 // Delta returns the counter movement between two snapshots (cur - prev).
 func (cur Snapshot) Delta(prev Snapshot, c Counter) float64 {
 	if c < 0 || c >= numCounters {

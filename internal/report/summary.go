@@ -122,6 +122,12 @@ type FleetRollup struct {
 	// restart attempt consumed.
 	Submitted int `json:"submitted"`
 	Restarts  int `json:"restarts"`
+	// PanicsRecovered counts worker panics the manager contained (each
+	// fed the restart ladder); CheckpointsWritten counts session
+	// snapshots written durably. Both are zero — and omitted — on
+	// fleets without chaos or checkpointing.
+	PanicsRecovered    int `json:"panics_recovered,omitempty"`
+	CheckpointsWritten int `json:"checkpoints_written,omitempty"`
 
 	// CyclesTotal counts control cycles observed across all controller
 	// sessions, live ones included; CyclesPerSec is the recent fleet

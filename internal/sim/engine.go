@@ -32,6 +32,8 @@ type Engine struct {
 	step      time.Duration
 	actors    []scheduled
 	interrupt func() bool
+	ckptHook  func()
+	cursor    RunCursor
 }
 
 type scheduled struct {
@@ -93,25 +95,53 @@ type Stats = platform.Stats
 func (e *Engine) Run(until time.Duration, stopWhenFGDone bool) Stats {
 	ph := e.phone
 	start := ph.Now()
-	deadline := start + until
 
 	ph.Monitor().Start()
-	startSnap := ph.PMU().Snapshot()
-	dropsAtStart := ph.Foreground().DroppedInstr()
-	freqChangesAtStart := ph.FreqChanges()
-	bwChangesAtStart := ph.BWChanges()
+	instr, cycles, bus := ph.PMU().Snapshot().Values()
+	cur := RunCursor{
+		Start:              start,
+		Deadline:           start + until,
+		StopWhenFGDone:     stopWhenFGDone,
+		StartInstr:         instr,
+		StartCycles:        cycles,
+		StartBus:           bus,
+		DropsAtStart:       ph.Foreground().DroppedInstr(),
+		FreqChangesAtStart: ph.FreqChanges(),
+		BWChangesAtStart:   ph.BWChanges(),
+	}
+	return e.run(cur)
+}
 
-	// The loop advances in batches: tick every actor that is due, then
-	// hand the phone all the steps up to the next actor deadline (or the
-	// run deadline) at once. StepN fuses those steps where the workload
-	// allows; the actor schedule is unchanged because no actor deadline
-	// can fall inside a batch.
+// Resume continues a run from a restored cursor WITHOUT re-taking
+// baselines: the monitor keeps its restored accumulators (Run's Start
+// would zero them) and the final Stats are still deltas against the
+// original run's entry point, so a killed-and-restored run reports the
+// identical Stats an uninterrupted one would.
+func (e *Engine) Resume(cur RunCursor) Stats { return e.run(cur) }
+
+// run is the shared engine loop: tick every actor that is due, then
+// hand the phone all the steps up to the next actor deadline (or the
+// run deadline) at once. StepN fuses those steps where the workload
+// allows; the actor schedule is unchanged because no actor deadline
+// can fall inside a batch.
+func (e *Engine) run(cur RunCursor) Stats {
+	e.cursor = cur
+	ph := e.phone
+	deadline := cur.Deadline
+	stopWhenFGDone := cur.StopWhenFGDone
+
 	for ph.Now() < deadline {
 		if stopWhenFGDone && ph.FGDone() {
 			break
 		}
 		if e.interrupt != nil && e.interrupt() {
 			break
+		}
+		if e.ckptHook != nil {
+			// Loop top is the engine's quiescent point: no actor is
+			// mid-tick and every actor deadline is consistent, so this is
+			// the only place a checkpoint may be captured.
+			e.ckptHook()
 		}
 		now := ph.Now()
 		next := deadline
@@ -133,8 +163,8 @@ func (e *Engine) Run(until time.Duration, stopWhenFGDone bool) Stats {
 
 	ph.Monitor().Stop()
 	endSnap := ph.PMU().Snapshot()
-	dur := ph.Now() - start
-	instr := endSnap.Delta(startSnap, pmu.Instructions)
+	dur := ph.Now() - cur.Start
+	instr := endSnap.Delta(pmu.SnapshotAt(cur.StartInstr, cur.StartCycles, cur.StartBus), pmu.Instructions)
 	st := Stats{
 		Duration:     dur,
 		EnergyJ:      ph.Monitor().EnergyJ(),
@@ -142,9 +172,9 @@ func (e *Engine) Run(until time.Duration, stopWhenFGDone bool) Stats {
 		PeakPowerW:   ph.Monitor().PeakPowerW(),
 		Instructions: instr,
 		FGCompleted:  ph.FGDone(),
-		DroppedInstr: ph.Foreground().DroppedInstr() - dropsAtStart,
-		FreqChanges:  ph.FreqChanges() - freqChangesAtStart,
-		BWChanges:    ph.BWChanges() - bwChangesAtStart,
+		DroppedInstr: ph.Foreground().DroppedInstr() - cur.DropsAtStart,
+		FreqChanges:  ph.FreqChanges() - cur.FreqChangesAtStart,
+		BWChanges:    ph.BWChanges() - cur.BWChangesAtStart,
 	}
 	if dur > 0 {
 		st.GIPS = instr / dur.Seconds() / 1e9

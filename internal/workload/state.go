@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// TaskState is a checkpointable snapshot of a running Task. The rng is
+// captured as its (seed, draws) stream position — see internal/detrand —
+// so jitter multipliers and touch-event Poisson draws continue on the
+// identical stream after a restore.
+type TaskState struct {
+	Spec         string        `json:"spec"`
+	RNGSeed      int64         `json:"rng_seed"`
+	RNGDraws     uint64        `json:"rng_draws"`
+	Now          time.Duration `json:"now_ns"`
+	PhaseIdx     int           `json:"phase_idx"`
+	PhaseElapsed time.Duration `json:"phase_elapsed_ns"`
+	PhaseExec    float64       `json:"phase_exec"`
+	TotalExec    float64       `json:"total_exec"`
+	LoopsDone    int           `json:"loops_done"`
+	Done         bool          `json:"done"`
+	JitterMul    float64       `json:"jitter_mul"`
+	JitterUntil  time.Duration `json:"jitter_until_ns"`
+	Backlog      float64       `json:"backlog"`
+	Dropped      float64       `json:"dropped"`
+}
+
+// State captures the task for a checkpoint.
+func (t *Task) State() TaskState {
+	seed, draws := t.rngSrc.State()
+	return TaskState{
+		Spec:         t.Spec.Name,
+		RNGSeed:      seed,
+		RNGDraws:     draws,
+		Now:          t.now,
+		PhaseIdx:     t.phaseIdx,
+		PhaseElapsed: t.phaseElapsed,
+		PhaseExec:    t.phaseExec,
+		TotalExec:    t.totalExec,
+		LoopsDone:    t.loopsDone,
+		Done:         t.done,
+		JitterMul:    t.jitterMul,
+		JitterUntil:  t.jitterUntil,
+		Backlog:      t.backlog,
+		Dropped:      t.dropped,
+	}
+}
+
+// Restore overwrites the task with a previously captured State. The
+// task must have been built from the same Spec the state was captured
+// from.
+func (t *Task) Restore(s TaskState) error {
+	if s.Spec != t.Spec.Name {
+		return fmt.Errorf("workload: restoring %q state into task for %q", s.Spec, t.Spec.Name)
+	}
+	if s.PhaseIdx < 0 || s.PhaseIdx >= len(t.Spec.Phases) {
+		return fmt.Errorf("workload %s: restore phase index %d out of %d", t.Spec.Name, s.PhaseIdx, len(t.Spec.Phases))
+	}
+	if err := t.rngSrc.Restore(s.RNGSeed, s.RNGDraws); err != nil {
+		return fmt.Errorf("workload %s: %w", t.Spec.Name, err)
+	}
+	t.now = s.Now
+	t.phaseIdx = s.PhaseIdx
+	t.phaseElapsed = s.PhaseElapsed
+	t.phaseExec = s.PhaseExec
+	t.totalExec = s.TotalExec
+	t.loopsDone = s.LoopsDone
+	t.done = s.Done
+	t.jitterMul = s.JitterMul
+	t.jitterUntil = s.JitterUntil
+	t.backlog = s.Backlog
+	t.dropped = s.Dropped
+	return nil
+}

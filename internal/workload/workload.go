@@ -26,6 +26,7 @@ import (
 	"math/rand"
 	"time"
 
+	"aspeo/internal/detrand"
 	"aspeo/internal/perfmodel"
 )
 
@@ -198,6 +199,7 @@ type Task struct {
 	Spec *Spec
 
 	rng          *rand.Rand
+	rngSrc       *detrand.Source
 	now          time.Duration
 	phaseIdx     int
 	phaseElapsed time.Duration
@@ -214,9 +216,11 @@ type Task struct {
 
 // NewTask instantiates a spec with a deterministic seed.
 func NewTask(spec *Spec, seed int64) *Task {
+	rng, src := detrand.New(seed)
 	return &Task{
 		Spec:      spec,
-		rng:       rand.New(rand.NewSource(seed)),
+		rng:       rng,
+		rngSrc:    src,
 		jitterMul: 1,
 	}
 }
