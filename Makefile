@@ -1,9 +1,9 @@
 # CI entry points. `make ci` is what .github/workflows/ci.yml runs:
 # vet, build, the full test suite under the race detector, the
-# benchmark regression check against the committed BENCH_7.json record,
-# the fault-campaign, record/replay, fleet control-plane, decision-trace
-# and chaos/kill-restore smoke tests, and — when the tools are on PATH —
-# staticcheck and govulncheck.
+# benchmark regression check against the committed BENCH_8.json record,
+# the fault-campaign, record/replay, fleet control-plane, decision-trace,
+# chaos/kill-restore and cross-engine golden-equivalence smoke tests,
+# and — when the tools are on PATH — staticcheck and govulncheck.
 
 GO ?= go
 
@@ -12,9 +12,9 @@ GO ?= go
 # allocs/op visible without paying for statistically stable timings.
 MICROBENCH = $(GO) test -run='^$$' -bench='BenchmarkOptimize|BenchmarkControllerCycle|BenchmarkNewFrontier' -benchtime=1x ./internal/core/...
 
-.PHONY: ci vet build test race bench bench-check bench-campaign smoke-faults smoke-replay smoke-fleet smoke-trace smoke-chaos lint vuln fuzz
+.PHONY: ci vet build test race bench bench-check bench-campaign smoke-faults smoke-replay smoke-fleet smoke-trace smoke-chaos smoke-event lint vuln fuzz
 
-ci: vet build race bench-check smoke-faults smoke-replay smoke-fleet smoke-trace smoke-chaos lint vuln
+ci: vet build race bench-check smoke-faults smoke-replay smoke-fleet smoke-trace smoke-chaos smoke-event lint vuln
 
 vet:
 	$(GO) vet ./...
@@ -34,7 +34,7 @@ race:
 # BENCH_7.json. Run on a quiet machine and commit the result.
 bench:
 	$(MICROBENCH)
-	$(GO) run ./cmd/aspeo-bench -out BENCH_7.json
+	$(GO) run ./cmd/aspeo-bench -out BENCH_8.json
 
 # Regression gate: re-run the suite and fail on >10% regression of
 # calibration-normalized throughput or raw allocs/cycle against the
@@ -42,7 +42,7 @@ bench:
 # (untracked) for inspection.
 bench-check:
 	$(MICROBENCH)
-	$(GO) run ./cmd/aspeo-bench -check BENCH_7.json -out bench-current.json
+	$(GO) run ./cmd/aspeo-bench -check BENCH_8.json -out bench-current.json
 
 # One fault scenario end to end at Quick fidelity: faults delivered,
 # ledger populated, hardened slack bounded by the stock governors'.
@@ -75,6 +75,14 @@ smoke-trace:
 # failure plan still lands every session with a consistent ledger.
 smoke-chaos:
 	$(GO) test -count=1 -race -run='TestKillRestore|TestFleetKillRestoreGolden|TestFleetChaosRecovery' ./internal/experiment/ ./internal/fleet/
+
+# Cross-engine golden equivalence, under the race detector: the
+# event-queue core against the fixed-timestep compatibility core on
+# controller, governor, fault-injected and full-rate-traced cells
+# (summary JSON, allocation logs, traces — all byte-identical), plus the
+# randomized engine storms and event-queue ordering property tests.
+smoke-event:
+	$(GO) test -count=1 -race -run='TestEngineEquivalence|TestCrossBackendStormBitIdentity|TestEventQueue|TestInterruptBoundaryParity' ./internal/experiment/ ./internal/sim/
 
 # staticcheck and govulncheck run when installed (CI installs them);
 # locally they no-op with a note rather than failing the build.

@@ -48,6 +48,7 @@ func run() int {
 		tol        = flag.Float64("tol", 0.10, "relative regression tolerance for -check")
 		fleetN     = flag.Int("fleet", 256, "fleet-slice session count (0 skips the fleet scenario)")
 		seed       = flag.Int64("seed", 101, "base simulation seed")
+		engineName = flag.String("engine", "event", "simulation core for the standard cells: event or fixed (the idle scenarios always run both)")
 		noFusion   = flag.Bool("no-fusion", false, "disable the simulator's K-step fused fast path (pre-optimization comparison)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the suite to this path")
 		memprofile = flag.String("memprofile", "", "write a heap profile (taken after the suite) to this path")
@@ -56,6 +57,10 @@ func run() int {
 	if *out == "" && *check == "" {
 		fmt.Fprintln(os.Stderr, "aspeo-bench: nothing to do: pass -out and/or -check")
 		return 2
+	}
+	backend, err := sim.ParseBackend(*engineName)
+	if err != nil {
+		return fatal("%v", err)
 	}
 	if *noFusion {
 		// The phone reads this at construction, so one setting covers
@@ -110,9 +115,40 @@ func run() int {
 	for _, spec := range apps {
 		for _, load := range loads {
 			p := preps[spec.Name+"/"+load.String()]
-			sc, err := runApp(spec, load, p.tab, p.target, *seed)
+			sc, err := runApp(spec, load, p.tab, p.target, *seed, backend, "controller", 0)
 			if err != nil {
 				return fatal("%s/%s: %v", spec.Name, load, err)
+			}
+			logScenario(sc)
+			rec.Scenarios = append(rec.Scenarios, sc)
+		}
+	}
+
+	// Idle-dominated wall-time cells: hour-scale σ=0 sessions where the
+	// event core's closed-form spans dominate. These always run on BOTH
+	// backends — the pair is the tracked record of the event engine's
+	// wall-time advantage (and Compare's geomean gate keeps the ratio
+	// from silently eroding).
+	for _, spec := range []*workload.Spec{workload.SpotifyIdle(), workload.EBookIdle()} {
+		load := workload.NoLoad
+		tab, err := exp.Profile(spec, load, profile.Coordinated)
+		if err != nil {
+			return fatal("profiling %s/%s: %v", spec.Name, load, err)
+		}
+		def, err := exp.MeasureDefault(spec, load)
+		if err != nil {
+			return fatal("default %s/%s: %v", spec.Name, load, err)
+		}
+		// Screen-off sessions doze: the controller re-decides every 30 s
+		// instead of every 200 ms quantum (the workload is σ=0 constant,
+		// so nothing changes between decisions). The actor cadence, not
+		// the stepping, is then the engines' only difference: the event
+		// core folds each 30 s quiescent interval in closed form while
+		// the fixed core still walks it step by step.
+		for _, be := range []sim.Backend{sim.BackendEvent, sim.BackendFixed} {
+			sc, err := runApp(spec, load, tab, def.GIPS, *seed, be, "controller-"+be.String(), 30*time.Second)
+			if err != nil {
+				return fatal("%s/%s/%s: %v", spec.Name, load, be, err)
 			}
 			logScenario(sc)
 			rec.Scenarios = append(rec.Scenarios, sc)
@@ -125,7 +161,7 @@ func run() int {
 			p := preps[spec.Name+"/BL"]
 			tables[spec.Name], targets[spec.Name] = p.tab, p.target
 		}
-		sc, err := runFleet(*fleetN, apps, tables, targets, *seed)
+		sc, err := runFleet(*fleetN, apps, tables, targets, *seed, *engineName)
 		if err != nil {
 			return fatal("fleet: %v", err)
 		}
@@ -198,11 +234,11 @@ const (
 // table. Best-of-N over identical runs; the allocation count takes the
 // minimum across iterations (allocations are a property of the code
 // path, and the minimum strips incidental runtime noise).
-func runApp(spec *workload.Spec, load workload.BGLoad, tab *profile.Table, target float64, seed int64) (benchrec.Scenario, error) {
+func runApp(spec *workload.Spec, load workload.BGLoad, tab *profile.Table, target float64, seed int64, be sim.Backend, variant string, doze time.Duration) (benchrec.Scenario, error) {
 	var sc benchrec.Scenario
 	var total time.Duration
 	for i := 0; i < maxScenarioIters && (i == 0 || total < minScenarioWall); i++ {
-		one, err := runAppOnce(spec, load, tab, target, seed)
+		one, err := runAppOnce(spec, load, tab, target, seed, be, variant, doze)
 		if err != nil {
 			return sc, err
 		}
@@ -222,9 +258,9 @@ func runApp(spec *workload.Spec, load workload.BGLoad, tab *profile.Table, targe
 	return sc, nil
 }
 
-func runAppOnce(spec *workload.Spec, load workload.BGLoad, tab *profile.Table, target float64, seed int64) (benchrec.Scenario, error) {
+func runAppOnce(spec *workload.Spec, load workload.BGLoad, tab *profile.Table, target float64, seed int64, be sim.Backend, variant string, doze time.Duration) (benchrec.Scenario, error) {
 	var sc benchrec.Scenario
-	sc.Name = spec.Name + "/" + load.String() + "/controller"
+	sc.Name = spec.Name + "/" + load.String() + "/" + variant
 	ph, err := sim.NewPhone(sim.Config{
 		Foreground: spec, Load: load, Seed: seed,
 		ScreenOn: true, WiFiOn: true,
@@ -232,9 +268,12 @@ func runAppOnce(spec *workload.Spec, load workload.BGLoad, tab *profile.Table, t
 	if err != nil {
 		return sc, err
 	}
-	eng := sim.NewEngine(ph)
+	eng := sim.NewEngineOpts(ph, sim.Options{Backend: be})
 	opts := core.DefaultOptions(tab, target)
 	opts.Seed = seed
+	if doze > 0 {
+		opts.CycleT, opts.Quantum = doze, doze
+	}
 	dist := histogram.NewDist(latencyBounds())
 	var lastCycle time.Time
 	opts.OnCycle = func(core.CycleSnapshot) {
@@ -282,13 +321,13 @@ func runAppOnce(spec *workload.Spec, load workload.BGLoad, tab *profile.Table, t
 // plane's end-to-end throughput, not a single cell's. Best of two:
 // concurrent schedules are where machine noise bites hardest.
 func runFleet(n int, apps []*workload.Spec, tables map[string]*profile.Table,
-	targets map[string]float64, seed int64) (benchrec.Scenario, error) {
+	targets map[string]float64, seed int64, engine string) (benchrec.Scenario, error) {
 
-	sc, err := runFleetOnce(n, apps, tables, targets, seed)
+	sc, err := runFleetOnce(n, apps, tables, targets, seed, engine)
 	if err != nil {
 		return sc, err
 	}
-	again, err := runFleetOnce(n, apps, tables, targets, seed)
+	again, err := runFleetOnce(n, apps, tables, targets, seed, engine)
 	if err != nil {
 		return sc, err
 	}
@@ -304,7 +343,7 @@ func runFleet(n int, apps []*workload.Spec, tables map[string]*profile.Table,
 }
 
 func runFleetOnce(n int, apps []*workload.Spec, tables map[string]*profile.Table,
-	targets map[string]float64, seed int64) (benchrec.Scenario, error) {
+	targets map[string]float64, seed int64, engine string) (benchrec.Scenario, error) {
 
 	var sc benchrec.Scenario
 	sc.Name = fmt.Sprintf("fleet-%d", n)
@@ -341,7 +380,7 @@ func runFleetOnce(n int, apps []*workload.Spec, tables map[string]*profile.Table
 		v, err := m.Submit(fleet.Config{
 			App: app.Name, Controller: true,
 			Profile: paths[app.Name], TargetGIPS: targets[app.Name],
-			Seed: seed + int64(i), RunForS: 60,
+			Seed: seed + int64(i), RunForS: 60, Engine: engine,
 		})
 		if err != nil {
 			return sc, err

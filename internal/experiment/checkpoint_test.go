@@ -160,7 +160,7 @@ func TestKillRestoreControllerGolden(t *testing.T) {
 func TestKillRestoreGovernorGolden(t *testing.T) {
 	checkGolden(t, experiment.SessionSpec{
 		App: "wechat", Load: "HL", Governor: "interactive", Seed: 7,
-		RunFor: 20 * time.Second,
+		RunFor:          20 * time.Second,
 		CheckpointEvery: 4,
 	}, 2)
 }

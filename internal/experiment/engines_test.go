@@ -1,0 +1,151 @@
+package experiment_test
+
+// Cross-engine golden equivalence: the event-queue core must reproduce
+// the fixed-timestep core bit for bit on every observable surface —
+// summary JSON, the controller's allocation log, and full-rate trace
+// recordings. These tests are the acceptance gate for the backend
+// switch: like the tracing and kill-restore goldens, they compare
+// serialized bytes, not tolerances.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"aspeo/internal/experiment"
+	"aspeo/internal/profile"
+	"aspeo/internal/report"
+	"aspeo/internal/sim"
+	"aspeo/internal/trace"
+)
+
+// engineProfile writes the synthetic convex coordinated profile shared
+// by the golden suites, so controller sessions skip on-the-fly
+// profiling.
+func engineProfile(t *testing.T) (path string, target float64) {
+	t.Helper()
+	tab := &profile.Table{App: "golden", Load: "BL", Mode: profile.Coordinated, BaseGIPS: 0.8}
+	s, p, step := 1.0, 1.6, 0.012
+	for f := 0; f < 9; f++ {
+		for bw := 0; bw < 13; bw++ {
+			tab.Entries = append(tab.Entries, profile.Entry{
+				FreqIdx: 2 * f, BWIdx: bw,
+				Speedup: s, PowerW: p, GIPS: s * tab.BaseGIPS,
+			})
+			s += 0.02
+			p += step
+			step += 0.0004
+		}
+	}
+	path = filepath.Join(t.TempDir(), "golden.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, 0.5 * (tab.MinSpeedup() + tab.MaxSpeedup()) * tab.BaseGIPS
+}
+
+// runOnEngine runs the spec on the named backend and returns every
+// observable surface: summary bytes, the controller allocation log, and
+// the full-rate trace (nil unless TraceEvery was set).
+func runOnEngine(t *testing.T, spec experiment.SessionSpec, engine string) ([]byte, []interface{}, []trace.Point) {
+	t.Helper()
+	spec.Engine = engine
+	sess, err := experiment.NewSession(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, _ := sim.ParseBackend(engine); sess.Harness.Engine.Backend() != want {
+		t.Fatalf("session engine = %v, want %v", sess.Harness.Engine.Backend(), want)
+	}
+	st := sess.Run(nil)
+	raw, err := json.Marshal(report.NewRunSummary(sess, st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log []interface{}
+	if sess.Controller != nil {
+		for _, r := range sess.Controller.AllocationLog() {
+			log = append(log, r)
+		}
+	}
+	var pts []trace.Point
+	if rec := sess.Harness.Phone.Recorder(); rec != nil {
+		pts = append(pts, rec.Points()...)
+	}
+	return raw, log, pts
+}
+
+// checkEngineEquivalence asserts the event and fixed cores produce
+// byte-identical outputs for the spec.
+func checkEngineEquivalence(t *testing.T, spec experiment.SessionSpec) {
+	t.Helper()
+	evRaw, evLog, evPts := runOnEngine(t, spec, "event")
+	fxRaw, fxLog, fxPts := runOnEngine(t, spec, "fixed")
+	if !bytes.Equal(evRaw, fxRaw) {
+		t.Fatalf("summary diverges across engines:\nevent %s\nfixed %s", evRaw, fxRaw)
+	}
+	if !reflect.DeepEqual(evLog, fxLog) {
+		t.Fatalf("allocation log diverges across engines:\nevent %d records %v\nfixed %d records %v",
+			len(evLog), evLog, len(fxLog), fxLog)
+	}
+	if len(evPts) != len(fxPts) {
+		t.Fatalf("trace length diverges: event %d points, fixed %d", len(evPts), len(fxPts))
+	}
+	for i := range evPts {
+		if evPts[i] != fxPts[i] {
+			t.Fatalf("trace diverges at point %d:\nevent %+v\nfixed %+v", i, evPts[i], fxPts[i])
+		}
+	}
+}
+
+// TestEngineEquivalenceController: the paper controller on a stored
+// profile — the standard evaluation cell.
+func TestEngineEquivalenceController(t *testing.T) {
+	prof, target := engineProfile(t)
+	checkEngineEquivalence(t, experiment.SessionSpec{
+		App: "spotify", Load: "BL", Controller: true,
+		Profile: prof, TargetGIPS: target, Seed: 7,
+		RunFor: 60 * time.Second, LogAllocations: true,
+	})
+}
+
+// TestEngineEquivalenceGovernor: stock kernel governors, the fastest
+// actor cadence (20 ms sampling) — maximal event-queue churn.
+func TestEngineEquivalenceGovernor(t *testing.T) {
+	checkEngineEquivalence(t, experiment.SessionSpec{
+		App: "wechat", Load: "HL", Governor: "interactive", Seed: 7,
+		RunFor: 30 * time.Second,
+	})
+}
+
+// TestEngineEquivalenceFaults: the combined chaos scenario layered on
+// the controller — fault firings are scheduled events too.
+func TestEngineEquivalenceFaults(t *testing.T) {
+	prof, target := engineProfile(t)
+	checkEngineEquivalence(t, experiment.SessionSpec{
+		App: "spotify", Load: "BL", Controller: true,
+		Profile: prof, TargetGIPS: target, Seed: 11,
+		RunFor: 60 * time.Second, LogAllocations: true,
+		Faults: "combined",
+	})
+}
+
+// TestEngineEquivalenceTraced: full-rate trace recording (every engine
+// step) — the strictest observable surface, one point per step.
+func TestEngineEquivalenceTraced(t *testing.T) {
+	checkEngineEquivalence(t, experiment.SessionSpec{
+		App: "ebook", Load: "NL", Governor: "interactive", Seed: 3,
+		RunFor: 10 * time.Second, TraceEvery: sim.DefaultStep,
+	})
+}

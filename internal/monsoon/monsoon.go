@@ -11,6 +11,8 @@ package monsoon
 import (
 	"fmt"
 	"time"
+
+	"aspeo/internal/fpacc"
 )
 
 // Monitor integrates a power signal over time.
@@ -95,6 +97,31 @@ func (m *Monitor) ObserveN(powerW float64, dt time.Duration, n int) {
 		m.energyJ += e
 		m.sumPower += sp
 	}
+	m.elapsed += time.Duration(n) * dt
+	m.samples += n * k
+	if powerW > m.maxPower {
+		m.maxPower = powerW
+	}
+}
+
+// ObserveSpan is ObserveN in closed form: it produces bit-identical
+// accumulator state to n sequential Observe(powerW, dt) calls, but in
+// time logarithmic in n (fpacc.AddK fast-forwards the two sequential
+// float sums; the integer counters batch exactly). The event-queue
+// simulation backend uses it to integrate power over a whole quiescent
+// interval in one call.
+func (m *Monitor) ObserveSpan(powerW float64, dt time.Duration, n int) {
+	if !m.running || dt <= 0 || n <= 0 {
+		return
+	}
+	sec := dt.Seconds()
+	k := int(sec*m.sampleHz + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	m.lastPowerW = powerW
+	m.energyJ = fpacc.AddK(m.energyJ, powerW*sec, n)
+	m.sumPower = fpacc.AddK(m.sumPower, powerW*float64(k), n)
 	m.elapsed += time.Duration(n) * dt
 	m.samples += n * k
 	if powerW > m.maxPower {

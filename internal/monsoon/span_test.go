@@ -1,0 +1,45 @@
+package monsoon
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestObserveSpanBitIdentity: ObserveSpan must leave the monitor in the
+// exact state n sequential Observe calls would, across span lengths
+// that cross many floating-point binades of the energy accumulator.
+func TestObserveSpanBitIdentity(t *testing.T) {
+	dt := time.Millisecond
+	powers := []float64{0.1837, 1.8432, 3.75}
+	spans := []int{1, 2, 3, 17, 999, 180000}
+	ref, fast := Default(), Default()
+	ref.Start()
+	fast.Start()
+	for i, n := range spans {
+		p := powers[i%len(powers)]
+		for j := 0; j < n; j++ {
+			ref.Observe(p, dt)
+		}
+		fast.ObserveSpan(p, dt, n)
+		if math.Float64bits(ref.EnergyJ()) != math.Float64bits(fast.EnergyJ()) {
+			t.Fatalf("span %d: energy %v vs %v", n, ref.EnergyJ(), fast.EnergyJ())
+		}
+		if math.Float64bits(ref.AveragePowerW()) != math.Float64bits(fast.AveragePowerW()) {
+			t.Fatalf("span %d: avg power %v vs %v", n, ref.AveragePowerW(), fast.AveragePowerW())
+		}
+		if ref.Elapsed() != fast.Elapsed() || ref.Samples() != fast.Samples() {
+			t.Fatalf("span %d: elapsed/samples diverged", n)
+		}
+		if ref.PeakPowerW() != fast.PeakPowerW() || ref.LastPowerW() != fast.LastPowerW() {
+			t.Fatalf("span %d: peak/last diverged", n)
+		}
+	}
+	// Stopped monitors ignore spans, like Observe.
+	fast.Stop()
+	before := fast.EnergyJ()
+	fast.ObserveSpan(5, dt, 100)
+	if fast.EnergyJ() != before {
+		t.Fatalf("stopped monitor accumulated energy")
+	}
+}

@@ -7,7 +7,11 @@
 // the ARM PMU cycle and instruction counters.
 package pmu
 
-import "sync"
+import (
+	"sync"
+
+	"aspeo/internal/fpacc"
+)
 
 // Counter identifies one hardware event counter.
 type Counter int
@@ -65,6 +69,19 @@ func (p *PMU) AddN(c Counter, delta float64, n int) {
 	for i := 0; i < n; i++ {
 		p.counts[c] += delta
 	}
+	p.mu.Unlock()
+}
+
+// AddSpan advances a counter as AddN does — bit-identical to n
+// successive Add calls — but in closed form via fpacc.AddK, so the cost
+// is logarithmic in n. The event-queue simulation backend uses it to
+// integrate counter movement over variable-length quiescent intervals.
+func (p *PMU) AddSpan(c Counter, delta float64, n int) {
+	if delta <= 0 || n <= 0 || c < 0 || c >= numCounters {
+		return
+	}
+	p.mu.Lock()
+	p.counts[c] = fpacc.AddK(p.counts[c], delta, n)
 	p.mu.Unlock()
 }
 

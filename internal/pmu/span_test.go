@@ -1,0 +1,36 @@
+package pmu
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAddSpanBitIdentity: AddSpan must be bit-identical to n sequential
+// Add calls for every counter, including the negative-delta no-op.
+func TestAddSpanBitIdentity(t *testing.T) {
+	ref, fast := New(), New()
+	deltas := []float64{7.5e4, 1.3e8, 1500}
+	for span := 0; span < 6; span++ {
+		n := []int{1, 2, 3, 1000, 64123, 180000}[span]
+		for c := Counter(0); c < numCounters; c++ {
+			d := deltas[c]
+			for i := 0; i < n; i++ {
+				ref.Add(c, d)
+			}
+			fast.AddSpan(c, d, n)
+		}
+	}
+	for c := Counter(0); c < numCounters; c++ {
+		if math.Float64bits(ref.Read(c)) != math.Float64bits(fast.Read(c)) {
+			t.Fatalf("%v: %v vs %v", c, ref.Read(c), fast.Read(c))
+		}
+	}
+	// Guards: non-positive delta and n are no-ops.
+	before := fast.Read(Cycles)
+	fast.AddSpan(Cycles, -1, 10)
+	fast.AddSpan(Cycles, 1, 0)
+	fast.AddSpan(Counter(99), 1, 10)
+	if fast.Read(Cycles) != before {
+		t.Fatalf("guarded AddSpan mutated state")
+	}
+}

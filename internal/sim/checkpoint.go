@@ -44,6 +44,18 @@ type RunCursor struct {
 // active run.
 func (e *Engine) Cursor() RunCursor { return e.cursor }
 
+// Suspend captures the active run's cursor for a later Resume — the
+// engine half of a session checkpoint. It must be called from inside
+// the checkpoint hook (the engine's quiescent point): there, and only
+// there, the cursor, the actor schedule (CheckpointActors) and the
+// device snapshot (Phone.CheckpointState) are mutually consistent, so
+// a cell rebuilt from the same Config, restored via RestoreActors →
+// Phone.RestoreState, and continued with Resume(cursor) reproduces the
+// uninterrupted run byte for byte. Outside the hook it returns the same
+// value as Cursor, which describes the most recent run entry rather
+// than a resumable point.
+func (e *Engine) Suspend() RunCursor { return e.cursor }
+
 // SetCheckpointHook installs a callback polled once per engine-loop
 // iteration, after the interrupt poll and before any actor ticks. At
 // that point the cell is quiescent — it is the only place snapshot

@@ -18,6 +18,58 @@ type Actor = platform.Actor
 // governor's 20 ms timer).
 const DefaultStep = time.Millisecond
 
+// Backend selects the engine core that drives the simulation loop.
+// Both backends produce bit-identical observables for the same seeded
+// cell; they differ only in how they spend wall time getting there.
+type Backend int
+
+// Engine backends.
+const (
+	// BackendEvent is the default core: a min-heap event queue that
+	// processes typed events (control-cycle ticks, governor sampling
+	// windows, perf-window closes, fault firings, the run deadline) in
+	// non-decreasing timestamp order and integrates the quiescent
+	// intervals between them in closed form. Idle-dominated workloads
+	// simulate in near-zero wall time.
+	BackendEvent Backend = iota
+	// BackendFixed is the original fixed-timestep loop, kept as the
+	// compatibility backend the event core is golden-tested against.
+	BackendFixed
+)
+
+// String returns the -engine flag spelling.
+func (b Backend) String() string {
+	if b == BackendFixed {
+		return "fixed"
+	}
+	return "event"
+}
+
+// ParseBackend parses the -engine flag: "event", "fixed", or "" (the
+// default, event).
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "event":
+		return BackendEvent, nil
+	case "fixed":
+		return BackendFixed, nil
+	}
+	return 0, fmt.Errorf("sim: unknown engine backend %q (want event or fixed)", s)
+}
+
+// Options configures engine construction.
+type Options struct {
+	// Step is the integration step; 0 means DefaultStep.
+	Step time.Duration
+	// Backend selects the engine core; the zero value is BackendEvent.
+	Backend Backend
+	// DebugInvariants enables the event core's invariant enforcement:
+	// clock monotonicity of the event stream and the work-conserving
+	// property of every span. Violations panic — they are engine bugs,
+	// never data errors. Cheap enough for tests; off in production runs.
+	DebugInvariants bool
+}
+
 // Engine advances a Phone and its actors in lockstep.
 //
 // Concurrency contract: an Engine, its Phone, its workload and every
@@ -30,21 +82,42 @@ const DefaultStep = time.Millisecond
 type Engine struct {
 	phone     *Phone
 	step      time.Duration
+	backend   Backend
+	debug     bool
 	actors    []scheduled
 	interrupt func() bool
 	ckptHook  func()
 	cursor    RunCursor
+
+	// Event-core scratch state, rebuilt from actors[i].next at every
+	// Run/Resume entry so the checkpoint machinery (CheckpointActors/
+	// RestoreActors) stays backend-agnostic.
+	queue eventQueue
+	due   []int
 }
 
 type scheduled struct {
 	actor Actor
 	next  time.Duration
+	kind  EventKind
 }
 
-// NewEngine creates an engine over the phone with the default step.
+// NewEngine creates an engine over the phone with the default step and
+// backend.
 func NewEngine(ph *Phone) *Engine {
-	return &Engine{phone: ph, step: DefaultStep}
+	return NewEngineOpts(ph, Options{})
 }
+
+// NewEngineOpts creates an engine with explicit options.
+func NewEngineOpts(ph *Phone, opt Options) *Engine {
+	if opt.Step <= 0 {
+		opt.Step = DefaultStep
+	}
+	return &Engine{phone: ph, step: opt.Step, backend: opt.Backend, debug: opt.DebugInvariants}
+}
+
+// Backend returns the engine core in use.
+func (e *Engine) Backend() Backend { return e.backend }
 
 // Phone returns the concrete device under simulation — for harnesses
 // extracting simulator-only state (histograms, trace recorder).
@@ -62,7 +135,7 @@ func (e *Engine) Register(a Actor) error {
 		return fmt.Errorf("sim: actor %q period %v is not a positive multiple of step %v",
 			a.Name(), p, e.step)
 	}
-	e.actors = append(e.actors, scheduled{actor: a, next: e.phone.Now()})
+	e.actors = append(e.actors, scheduled{actor: a, next: e.phone.Now(), kind: classifyActor(a.Name())})
 	return nil
 }
 
@@ -74,14 +147,19 @@ func (e *Engine) MustRegister(a Actor) {
 	}
 }
 
-// SetInterrupt installs a callback polled at batch boundaries during
-// Run — at least once per actor period (the fastest actor bounds the
-// batch length, so never more than ~200 ms of simulated time apart);
-// when it returns true the run stops there, and Run's Stats cover
-// exactly the steps that executed. nil clears it. The fleet runtime uses
-// this for cooperative session stop; an interrupt that never fires
-// leaves the run bit-identical to one without (the poll is observation
-// only — it cannot touch the cell).
+// SetInterrupt installs a callback polled at every event boundary of
+// the run — the loop points where an actor is due to tick (or the run
+// is about to begin). Both backends poll at exactly the same boundaries,
+// so the spacing of polls in simulated time equals the gap between
+// consecutive actor deadlines: with the default session actor set that
+// is the fastest registered period (20 ms under a kernel governor, 1 s
+// under the controller's perf tool, up to the 2 s control quantum in a
+// controller-only cell). When the callback returns true the run stops
+// at that boundary, and Run's Stats cover exactly the steps that
+// executed. nil clears it. The fleet runtime uses this for cooperative
+// session stop; an interrupt that never fires leaves the run
+// bit-identical to one without (the poll is observation only — it
+// cannot touch the cell).
 func (e *Engine) SetInterrupt(f func() bool) { e.interrupt = f }
 
 // Stats summarizes a run; the definition lives in platform so every
@@ -119,13 +197,30 @@ func (e *Engine) Run(until time.Duration, stopWhenFGDone bool) Stats {
 // identical Stats an uninterrupted one would.
 func (e *Engine) Resume(cur RunCursor) Stats { return e.run(cur) }
 
-// run is the shared engine loop: tick every actor that is due, then
-// hand the phone all the steps up to the next actor deadline (or the
-// run deadline) at once. StepN fuses those steps where the workload
-// allows; the actor schedule is unchanged because no actor deadline
-// can fall inside a batch.
+// run dispatches to the selected backend core and computes the run's
+// Stats over the cursor's window. Both cores share the same boundary
+// semantics — loop top is the quiescent point where the interrupt and
+// checkpoint hooks are polled, due actors tick in registration order,
+// and the device then advances to the next actor deadline — so the
+// observable trajectory is identical; they differ only in how the
+// quiescent intervals are integrated.
 func (e *Engine) run(cur RunCursor) Stats {
 	e.cursor = cur
+	if e.backend == BackendEvent {
+		e.runEvent(cur)
+	} else {
+		e.runFixed(cur)
+	}
+	return e.finishRun(cur)
+}
+
+// runFixed is the compatibility core: the original fixed-timestep loop.
+// Each iteration ticks every actor that is due, then hands the phone
+// all the steps up to the next actor deadline (or the run deadline) at
+// once. StepN fuses those steps where the workload allows; the actor
+// schedule is unchanged because no actor deadline can fall inside a
+// batch.
+func (e *Engine) runFixed(cur RunCursor) {
 	ph := e.phone
 	deadline := cur.Deadline
 	stopWhenFGDone := cur.StopWhenFGDone
@@ -160,7 +255,12 @@ func (e *Engine) run(cur RunCursor) Stats {
 		}
 		ph.StepN(e.step, n, stopWhenFGDone)
 	}
+}
 
+// finishRun closes the measurement session and diffs the run's Stats
+// against the cursor's baselines. Shared by both backend cores.
+func (e *Engine) finishRun(cur RunCursor) Stats {
+	ph := e.phone
 	ph.Monitor().Stop()
 	endSnap := ph.PMU().Snapshot()
 	dur := ph.Now() - cur.Start

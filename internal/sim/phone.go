@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"time"
 
+	"aspeo/internal/fpacc"
 	"aspeo/internal/histogram"
 	"aspeo/internal/monsoon"
 	"aspeo/internal/obs"
@@ -700,6 +701,105 @@ func (p *Phone) StepN(dt time.Duration, n int, stopWhenFGDone bool) int {
 		if p.planReady(dt) {
 			if k := p.planBudget(dt, n-ran); k > 0 {
 				p.fastSteps(dt, k)
+				ran += k
+				if stopWhenFGDone && p.fg.Done() {
+					return ran
+				}
+				continue
+			}
+		}
+		p.Step(dt)
+		ran++
+		if stopWhenFGDone && p.fg.Done() {
+			return ran
+		}
+	}
+	return ran
+}
+
+// --- Variable-length span fast-forward (event-queue backend) ---
+
+// spanBudget is planBudget under the workload's SpanBound contract: how
+// many steps (≤ limit) the cached plan can be replayed before any
+// task's demand could change. SpanBound grants the event backend one
+// extra liberty over FuseBound — jitter-free served paced phases run to
+// their phase boundary instead of stopping at every (no-op) jitter
+// resample deadline.
+func (p *Phone) spanBudget(dt time.Duration, limit int) int {
+	k := limit
+	for i := range p.plan.tasks {
+		ft := &p.plan.tasks[i]
+		if ft.sp.Done {
+			if !ft.task.Done() {
+				return 0
+			}
+			continue
+		}
+		b := ft.task.SpanBound(ft.sp, dt)
+		if b <= 0 {
+			return 0
+		}
+		if b < k {
+			k = b
+		}
+	}
+	return k
+}
+
+// fastForwardSpan replays the cached plan for k steps like fastSteps,
+// but integrates the per-step accumulations in closed form: task state
+// through workload.AdvanceSpan, PMU counters through pmu.AddSpan, the
+// power monitor through monsoon.ObserveSpan, and the phone's cumulative
+// telemetry through fpacc.AddK — each bit-identical to its sequential
+// loop. Tasks whose phase draws touch randomness still advance step by
+// step (the rng interleaving is part of the contract).
+func (p *Phone) fastForwardSpan(dt time.Duration, k int) {
+	pl := &p.plan
+	for i := range pl.tasks {
+		ft := &pl.tasks[i]
+		if ft.sp.Done {
+			continue
+		}
+		t := ft.task
+		if ft.touch {
+			for j := 0; j < k; j++ {
+				t.Advance(ft.sp.Exec, dt)
+				p.pendingTouches += t.Touches(dt)
+			}
+		} else {
+			t.AdvanceSpan(ft.sp.Exec, dt, k)
+			if t.TouchActive() {
+				p.pendingTouches += t.Touches(dt)
+			}
+		}
+	}
+	p.cumMachineBusySec = fpacc.AddK(p.cumMachineBusySec, pl.machineUsed, k)
+	p.cumBusyCoreSec = fpacc.AddK(p.cumBusyCoreSec, pl.coreSec, k)
+	p.cumTrafficBytes = fpacc.AddK(p.cumTrafficBytes, pl.traffic, k)
+	kd := time.Duration(k) * dt
+	p.cpuHist.Add(p.freqIdx, kd)
+	p.bwHist.Add(p.bwIdx, kd)
+	p.pmu.AddSpan(pmu.Instructions, pl.instr, k)
+	p.pmu.AddSpan(pmu.Cycles, pl.cycles, k)
+	p.pmu.AddSpan(pmu.BusAccessBytes, pl.traffic, k)
+	p.mon.ObserveSpan(pl.powerW, dt, k)
+	p.now += kd
+}
+
+// StepSpan is StepN for the event-queue backend: it advances the device
+// by n steps of dt, bit-identically to n individual Step calls, but
+// integrates fused spans in closed form so an idle quiescent interval
+// costs O(log n) instead of O(n). Workload-phase transitions inside the
+// interval surface as derived micro-events: each span is bounded at the
+// next phase boundary, and the slow Step that follows re-plans from the
+// new phase. Returns the number of steps executed (early exit on
+// foreground completion, like StepN).
+func (p *Phone) StepSpan(dt time.Duration, n int, stopWhenFGDone bool) int {
+	ran := 0
+	for ran < n {
+		if p.planReady(dt) {
+			if k := p.spanBudget(dt, n-ran); k > 0 {
+				p.fastForwardSpan(dt, k)
 				ran += k
 				if stopWhenFGDone && p.fg.Done() {
 					return ran

@@ -247,6 +247,10 @@ func ByName(name string) (*Spec, error) {
 		return Camera(), nil
 	case NameVideoStream:
 		return VideoStream(), nil
+	case NameSpotifyIdle:
+		return SpotifyIdle(), nil
+	case NameEBookIdle:
+		return EBookIdle(), nil
 	}
 	return nil, fmt.Errorf("workload: unknown app %q", name)
 }
@@ -254,5 +258,6 @@ func ByName(name string) (*Spec, error) {
 // Names lists all known app names.
 func Names() []string {
 	return []string{NameVidCon, NameMobileBench, NameAngryBirds, NameWeChat,
-		NameMXPlayer, NameSpotify, NameEBook, NameMaps, NameCamera, NameVideoStream}
+		NameMXPlayer, NameSpotify, NameEBook, NameMaps, NameCamera, NameVideoStream,
+		NameSpotifyIdle, NameEBookIdle}
 }

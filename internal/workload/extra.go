@@ -14,6 +14,8 @@ const (
 	NameMaps        = "maps"
 	NameCamera      = "camera"
 	NameVideoStream = "videostream"
+	NameSpotifyIdle = "spotify-idle"
+	NameEBookIdle   = "ebook-idle"
 )
 
 // Maps models turn-by-turn navigation: continuous tile rendering and
@@ -105,7 +107,50 @@ func VideoStream() *Spec {
 	}
 }
 
+// SpotifyIdle models screen-off audio playback over a full hour: the
+// steady decode demand of Spotify's stream phase with no buffer-refill
+// jitter (σ = 0) and no song-change bursts. The demand trace is exactly
+// periodic, which is the idle-dominated regime where the event-queue
+// engine's closed-form spans pay off: a whole controller quantum folds
+// into one O(log k) accumulator jump instead of k fused steps.
+func SpotifyIdle() *Spec {
+	steady := perfmodel.Traits{CPI: 2.2, BPI: 1.2, Par: 1.0, Overlap: 0.05}
+	return &Spec{
+		Name: NameSpotifyIdle,
+		Phases: []Phase{
+			{
+				Name: "stream-idle", Kind: Paced, Traits: steady,
+				Duration: 3600 * time.Second, DemandGIPS: 0.075,
+				BacklogSec: 2.0, AuxBaseW: 0.12,
+			},
+		},
+		Loop:            true,
+		RunFor:          3600 * time.Second,
+		ProfileFreqIdxs: []int{0, 2, 4},
+	}
+}
+
+// EBookIdle is the reader of Figure 1 left open on one page for an
+// hour: render timers and background sync keep a tiny, perfectly
+// steady CPU demand (σ = 0) with no page turns. Like SpotifyIdle it is
+// an idle-dominated wall-time benchmark for the event engine.
+func EBookIdle() *Spec {
+	read := perfmodel.Traits{CPI: 2.0, BPI: 1.0, Par: 1.0, Overlap: 0.05}
+	return &Spec{
+		Name: NameEBookIdle,
+		Phases: []Phase{
+			{
+				Name: "read-idle", Kind: Paced, Traits: read,
+				Duration: 3600 * time.Second, DemandGIPS: 0.035,
+			},
+		},
+		Loop:            true,
+		RunFor:          3600 * time.Second,
+		ProfileFreqIdxs: evens(1, 9),
+	}
+}
+
 // Extras lists the additional library workloads.
 func Extras() []*Spec {
-	return []*Spec{Maps(), Camera(), VideoStream()}
+	return []*Spec{Maps(), Camera(), VideoStream(), SpotifyIdle(), EBookIdle()}
 }

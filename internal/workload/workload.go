@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"aspeo/internal/detrand"
+	"aspeo/internal/fpacc"
 	"aspeo/internal/perfmodel"
 )
 
@@ -397,6 +398,22 @@ func ceilSteps(a, dt time.Duration) int {
 // bound may include the step that ends a paced phase or a windowed
 // batch (Advance handles the transition), but never extends past it.
 func (t *Task) FuseBound(sp StepPlan, dt time.Duration) int {
+	return t.fuseBound(sp, dt, false)
+}
+
+// SpanBound is FuseBound for the event-queue backend: identical
+// guarantees, with one relaxation. A steadily-served paced phase whose
+// jitter is disabled (σ = 0) and whose multiplier sits at its fixed
+// point of 1 is not capped at the next jitter resample — crossing the
+// resample deadline draws no randomness and cannot change the demand,
+// so the span may run all the way to the phase boundary. The resample
+// deadline then goes stale, which is harmless: Demand refreshes it
+// lazily on the next slow step, and no observable depends on it.
+func (t *Task) SpanBound(sp StepPlan, dt time.Duration) int {
+	return t.fuseBound(sp, dt, true)
+}
+
+func (t *Task) fuseBound(sp StepPlan, dt time.Duration, relaxJitter bool) int {
 	if t.done || sp.Done || t.phaseIdx != sp.PhaseIdx {
 		return 0
 	}
@@ -436,10 +453,15 @@ func (t *Task) FuseBound(sp StepPlan, dt time.Duration) int {
 	case Paced:
 		// Never step past the jitter resample deadline: Demand draws
 		// from the rng there (even with σ = 0 the multiplier is
-		// re-evaluated), and past it the demand may change.
-		k := ceilSteps(t.jitterUntil-t.now, dt)
-		if k <= 0 {
-			return 0
+		// re-evaluated), and past it the demand may change. The one
+		// provable exception — σ = 0 with the multiplier already at its
+		// fixed point in a served phase — is granted only to SpanBound.
+		k := unboundedSteps
+		if !(relaxJitter && sp.Served && p.DemandJitter <= 0 && t.jitterMul == 1) {
+			k = ceilSteps(t.jitterUntil-t.now, dt)
+			if k <= 0 {
+				return 0
+			}
 		}
 		if kp := ceilSteps(p.Duration-t.phaseElapsed, dt); kp < k {
 			k = kp
@@ -474,6 +496,42 @@ func (t *Task) AdvanceN(executed float64, dt time.Duration, n int) {
 	for i := 0; i < n; i++ {
 		t.Advance(executed, dt)
 	}
+}
+
+// AdvanceSpan reports n identical steps like AdvanceN — bit-identically
+// to n consecutive Advance calls — but folds the first n-1 steps in
+// closed form when the task state provably telescopes: batch phases
+// (instruction totals accumulate sequentially, fast-forwarded exactly
+// by fpacc.AddK) and steadily-served paced phases (an empty backlog
+// with executed == want keeps the unmet-work arithmetic at exactly
+// zero every step). Anything else falls back to the literal loop.
+//
+// Precondition: n must not exceed the task's SpanBound (or FuseBound)
+// for the step being replayed, so that no phase transition can occur
+// before the final step. The final step always runs the literal
+// Advance, which handles the transition if the span ends the phase.
+func (t *Task) AdvanceSpan(executed float64, dt time.Duration, n int) {
+	if n <= 0 || t.done {
+		return
+	}
+	p := &t.Spec.Phases[t.phaseIdx]
+	closed := false
+	switch p.Kind {
+	case Batch:
+		closed = true
+	case Paced:
+		want := p.DemandGIPS * 1e9 * dt.Seconds() * t.jitterMul
+		closed = t.backlog == 0 && executed == want
+	}
+	if !closed {
+		t.AdvanceN(executed, dt, n)
+		return
+	}
+	t.now += time.Duration(n-1) * dt
+	t.phaseElapsed += time.Duration(n-1) * dt
+	t.phaseExec = fpacc.AddK(t.phaseExec, executed, n-1)
+	t.totalExec = fpacc.AddK(t.totalExec, executed, n-1)
+	t.Advance(executed, dt)
 }
 
 // PhaseIndex returns the index of the currently executing phase.
