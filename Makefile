@@ -1,9 +1,10 @@
 # CI entry points. `make ci` is what .github/workflows/ci.yml runs:
 # vet, build, the full test suite under the race detector, the
-# benchmark regression check against the committed BENCH_8.json record,
+# benchmark regression check against the committed BENCH_9.json record,
 # the fault-campaign, record/replay, fleet control-plane, decision-trace,
-# chaos/kill-restore and cross-engine golden-equivalence smoke tests,
-# and — when the tools are on PATH — staticcheck and govulncheck.
+# chaos/kill-restore, cross-engine golden-equivalence and scenario-
+# generator smoke tests, and — when the tools are on PATH —
+# staticcheck and govulncheck.
 
 GO ?= go
 
@@ -12,9 +13,9 @@ GO ?= go
 # allocs/op visible without paying for statistically stable timings.
 MICROBENCH = $(GO) test -run='^$$' -bench='BenchmarkOptimize|BenchmarkControllerCycle|BenchmarkNewFrontier' -benchtime=1x ./internal/core/...
 
-.PHONY: ci vet build test race bench bench-check bench-campaign smoke-faults smoke-replay smoke-fleet smoke-trace smoke-chaos smoke-event lint vuln fuzz
+.PHONY: ci vet build test race bench bench-check bench-campaign smoke-faults smoke-replay smoke-fleet smoke-trace smoke-chaos smoke-event smoke-gen lint vuln fuzz
 
-ci: vet build race bench-check smoke-faults smoke-replay smoke-fleet smoke-trace smoke-chaos smoke-event lint vuln
+ci: vet build race bench-check smoke-faults smoke-replay smoke-fleet smoke-trace smoke-chaos smoke-event smoke-gen lint vuln
 
 vet:
 	$(GO) vet ./...
@@ -30,11 +31,12 @@ race:
 
 # Refresh the tracked benchmark record: the micro-benchmarks, then the
 # fixed-scenario suite (6 evaluated apps + eBook × 3 background loads
-# under the controller, plus a 256-session fleet slice) written to
-# BENCH_7.json. Run on a quiet machine and commit the result.
+# under the controller, a 256-session fleet slice, and a 64-session
+# generated population from internal/scenario) written to BENCH_9.json.
+# Run on a quiet machine and commit the result.
 bench:
 	$(MICROBENCH)
-	$(GO) run ./cmd/aspeo-bench -out BENCH_8.json
+	$(GO) run ./cmd/aspeo-bench -out BENCH_9.json
 
 # Regression gate: re-run the suite and fail on >10% regression of
 # calibration-normalized throughput or raw allocs/cycle against the
@@ -42,7 +44,7 @@ bench:
 # (untracked) for inspection.
 bench-check:
 	$(MICROBENCH)
-	$(GO) run ./cmd/aspeo-bench -check BENCH_8.json -out bench-current.json
+	$(GO) run ./cmd/aspeo-bench -check BENCH_9.json -out bench-current.json
 
 # One fault scenario end to end at Quick fidelity: faults delivered,
 # ledger populated, hardened slack bounded by the stock governors'.
@@ -84,6 +86,14 @@ smoke-chaos:
 smoke-event:
 	$(GO) test -count=1 -race -run='TestEngineEquivalence|TestCrossBackendStormBitIdentity|TestEventQueue|TestInterruptBoundaryParity' ./internal/experiment/ ./internal/sim/
 
+# The scenario subsystem end to end, under the race detector: the
+# shipped example spec compiles to a byte-identical golden session
+# stream (the aspeo-gen emission contract), and a generated 16-session
+# mixed population — chains, perturbation, ad storms, bursty arrivals —
+# submits through the fleet worker pool and lands every session.
+smoke-gen:
+	$(GO) test -count=1 -race -run='TestExampleScenarioGolden|TestScenarioFleetSmoke' ./cmd/aspeo-gen/ ./internal/fleet/
+
 # staticcheck and govulncheck run when installed (CI installs them);
 # locally they no-op with a note rather than failing the build.
 lint:
@@ -100,11 +110,12 @@ vuln:
 		echo "vuln: govulncheck not installed, skipping"; \
 	fi
 
-# Short fuzz pass over the sysfs path canonicalizer (corpus committed
-# under internal/sysfs/testdata). Not part of `ci` — time-boxed runs
-# belong in a dedicated job.
+# Short fuzz passes: the sysfs path canonicalizer and the scenario
+# spec parser/compiler (seed corpora in the fuzz targets). Not part of
+# `ci` — time-boxed runs belong in a dedicated job.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzClean -fuzztime=15s ./internal/sysfs/
+	$(GO) test -run='^$$' -fuzz=FuzzScenarioSpec -fuzztime=15s ./internal/scenario/
 
 # The campaign-scale benchmarks (quick Table III, serial vs parallel
 # with a reported speedup metric). Not part of `ci` — they simulate

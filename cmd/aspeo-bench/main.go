@@ -4,10 +4,12 @@
 // The suite is fully seeded: the six evaluated applications run under
 // the energy controller at baseline load (profiled once, at quick
 // fidelity, before any measurement starts), then a fleet slice submits
-// N controller sessions through the fleet manager's worker pool. Each
-// scenario records control cycles per wall second, simulated device
-// seconds per wall second, heap allocations per control cycle, and the
-// p95 wall-clock latency of one control cycle.
+// N controller sessions through the fleet manager's worker pool, and a
+// generated population compiled by internal/scenario runs governor-mode
+// sessions through the same pool. Each scenario records control cycles
+// per wall second, simulated device seconds per wall second, heap
+// allocations per control cycle, and the p95 wall-clock latency of one
+// control cycle.
 //
 // Usage:
 //
@@ -33,6 +35,7 @@ import (
 	"aspeo/internal/fleet"
 	"aspeo/internal/histogram"
 	"aspeo/internal/profile"
+	"aspeo/internal/scenario"
 	"aspeo/internal/sim"
 	"aspeo/internal/workload"
 )
@@ -47,6 +50,7 @@ func run() int {
 		check      = flag.String("check", "", "run the suite and fail on regression against this baseline record")
 		tol        = flag.Float64("tol", 0.10, "relative regression tolerance for -check")
 		fleetN     = flag.Int("fleet", 256, "fleet-slice session count (0 skips the fleet scenario)")
+		genN       = flag.Int("gen", 64, "generated-population session count (0 skips the scenario)")
 		seed       = flag.Int64("seed", 101, "base simulation seed")
 		engineName = flag.String("engine", "event", "simulation core for the standard cells: event or fixed (the idle scenarios always run both)")
 		noFusion   = flag.Bool("no-fusion", false, "disable the simulator's K-step fused fast path (pre-optimization comparison)")
@@ -164,6 +168,14 @@ func run() int {
 		sc, err := runFleet(*fleetN, apps, tables, targets, *seed, *engineName)
 		if err != nil {
 			return fatal("fleet: %v", err)
+		}
+		logScenario(sc)
+		rec.Scenarios = append(rec.Scenarios, sc)
+	}
+	if *genN > 0 {
+		sc, err := runGenerated(*genN, *seed, *engineName)
+		if err != nil {
+			return fatal("generated: %v", err)
 		}
 		logScenario(sc)
 		rec.Scenarios = append(rec.Scenarios, sc)
@@ -417,6 +429,79 @@ func runFleetOnce(n int, apps []*workload.Spec, tables map[string]*profile.Table
 	}
 	if cycles > 0 {
 		sc.AllocsPerCycle = float64(m1.Mallocs-m0.Mallocs) / float64(cycles)
+	}
+	return sc, nil
+}
+
+// runGenerated measures the scenario pipeline end to end: a seeded
+// n-session population — chained app-switchers with an ad storm plus
+// perturbed single-app readers over a bursty arrival process — is
+// compiled by internal/scenario and submitted through the fleet
+// manager as governor-mode sessions (no profiling cost; the generated
+// chain workloads have no stored tables anyway). The measurement
+// covers compilation, submission and the runs; with zero control
+// cycles the cell gates only on the sim/wall geomean.
+func runGenerated(n int, seed int64, engine string) (benchrec.Scenario, error) {
+	var sc benchrec.Scenario
+	sc.Name = fmt.Sprintf("generated-%d", n)
+	spec := &scenario.Spec{
+		Name: "bench-pop", Seed: seed, Sessions: n, HorizonS: 600,
+		Arrival: scenario.Arrival{
+			Process: scenario.ProcessBursty, BurstFactor: 3,
+			MeanBurstS: 30, MeanCalmS: 90,
+		},
+		LoadCurve: []scenario.CurveTerm{{PeriodS: 600, Amplitude: 0.3, Phase: 0.25}},
+		Cohorts: []scenario.Cohort{
+			{
+				Name: "switchers", Weight: 0.6,
+				Apps:    []string{"spotify", "ebook", "angrybirds"},
+				Chain:   &scenario.Chain{Length: 3, DwellS: 10, DwellJitter: 0.3},
+				Loads:   map[string]float64{"BL": 0.7, "HL": 0.3},
+				Engine:  engine,
+				RunForS: 30,
+				AdStorm: &scenario.AdStorm{PeriodS: 20, BurstS: 2, GIPS: 0.3},
+			},
+			{
+				Name: "readers", Weight: 0.4,
+				Apps:    []string{"ebook"},
+				Perturb: &scenario.Perturb{DemandSigma: 0.25, DurationSigma: 0.2},
+				Engine:  engine,
+				RunForS: 30,
+			},
+		},
+	}
+	g, err := spec.Compile()
+	if err != nil {
+		return sc, err
+	}
+
+	m := fleet.NewManager(fleet.Options{})
+	runtime.GC()
+	wall0 := time.Now()
+	views, err := m.SubmitScenario(g)
+	if err != nil {
+		return sc, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	for _, v := range views {
+		v, err := m.WaitSession(ctx, v.ID)
+		if err != nil {
+			return sc, err
+		}
+		if v.State != fleet.StateCompleted {
+			return sc, fmt.Errorf("session %s landed %s: %s", v.ID, v.State, v.Error)
+		}
+		sc.SimSeconds += v.Summary.DurationS
+	}
+	wall := time.Since(wall0).Seconds()
+	if err := m.Drain(ctx); err != nil {
+		return sc, err
+	}
+
+	sc.WallSeconds = wall
+	if wall > 0 {
+		sc.SimPerWall = sc.SimSeconds / wall
 	}
 	return sc, nil
 }

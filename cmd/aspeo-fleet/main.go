@@ -46,6 +46,7 @@ import (
 
 	"aspeo/internal/fleet"
 	"aspeo/internal/report"
+	"aspeo/internal/scenario"
 )
 
 func main() {
@@ -61,6 +62,7 @@ func main() {
 		restore      = flag.Bool("restore", false, "resume the sessions checkpointed in -checkpoint-dir before serving")
 		maxStreams   = flag.Int("max-streams", 0, "max concurrent NDJSON status streams, excess shed with 429 (0 = 64)")
 		reqTimeout   = flag.Duration("request-timeout", 0, "per-request deadline for non-streaming endpoints (0 = 30s)")
+		scenPath     = flag.String("scenario", "", "compile this scenario spec (see aspeo-gen) and submit its generated population at startup")
 		enablePprof  = flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
 	)
 	flag.Parse()
@@ -101,6 +103,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "aspeo-fleet: restored session %s (%s, %d restarts)\n", v.ID, v.Config.App, v.Restarts)
 		}
 		fmt.Fprintf(os.Stderr, "aspeo-fleet: restored %d checkpointed sessions\n", len(views))
+	}
+	if *scenPath != "" {
+		// The scenario is startup configuration: a spec that does not
+		// load, compile, or fit the queue is a usage error found before
+		// serving, not a half-submitted population discovered later.
+		sc, err := scenario.LoadFile(*scenPath)
+		if err != nil {
+			usageError("-scenario: %v", err)
+		}
+		g, err := sc.Compile()
+		if err != nil {
+			usageError("-scenario: %v", err)
+		}
+		views, err := m.SubmitScenario(g)
+		if err != nil {
+			fatal("-scenario %s: %d of %d sessions accepted: %v", *scenPath, len(views), len(g.Sessions), err)
+		}
+		fmt.Fprintf(os.Stderr, "aspeo-fleet: scenario %s: %d sessions submitted\n", g.Name, len(views))
 	}
 	handler := fleet.NewServer(m)
 	if *enablePprof {

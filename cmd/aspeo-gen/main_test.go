@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aspeo/internal/scenario"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestExampleScenarioGolden pins the -emit output for the -example
+// starter spec: the compiled session stream is a pure function of
+// (spec, seed), so the bytes aspeo-gen emits for the shipped example
+// must never drift without an intentional -update. This is the
+// reproducibility contract a user relies on when they share a spec
+// instead of a session list.
+func TestExampleScenarioGolden(t *testing.T) {
+	spec, err := scenario.Parse([]byte(exampleSpec))
+	if err != nil {
+		t.Fatalf("shipped example spec invalid: %v", err)
+	}
+	g, err := spec.Compile()
+	if err != nil {
+		t.Fatalf("shipped example spec does not compile: %v", err)
+	}
+	if len(g.Sessions) != spec.Sessions {
+		t.Fatalf("compiled %d sessions, spec asks for %d", len(g.Sessions), spec.Sessions)
+	}
+
+	got, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "example_sessions_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("compiled example stream differs from golden (run with -update after intended changes)\ngot:  %d bytes\nwant: %d bytes", len(got), len(want))
+	}
+}

@@ -17,6 +17,7 @@
 //	aspeo-run -app spotify -controller -faults combined -flight-out flight.ndjson
 //	aspeo-run -app spotify -controller -checkpoint run.ckpt.json     # crash safety
 //	aspeo-run -app spotify -controller -restore run.ckpt.json        # resume after a kill
+//	aspeo-run -scenario evening.json -scenario-index 3    # one generated scenario session
 package main
 
 import (
@@ -35,6 +36,7 @@ import (
 	"aspeo/internal/governor"
 	"aspeo/internal/obs"
 	"aspeo/internal/report"
+	"aspeo/internal/scenario"
 	"aspeo/internal/sim"
 	"aspeo/internal/workload"
 )
@@ -62,6 +64,8 @@ func main() {
 		ckptOut    = flag.String("checkpoint", "", "keep the session crash-safe: write its latest snapshot to this path (atomically, overwritten in place) every -checkpoint-every cadence points")
 		ckptEvery  = flag.Int("checkpoint-every", 25, "checkpoint cadence: control cycles (controller) or simulated seconds (governor)")
 		restore    = flag.String("restore", "", "resume from a checkpoint written by -checkpoint; the other flags must rebuild the same spec (same app, seed, mode, ...) or the restore is rejected")
+		scenPath   = flag.String("scenario", "", "run one session of a compiled scenario instead of -app: scenario spec JSON (see aspeo-gen)")
+		scenIdx    = flag.Int("scenario-index", 0, "which generated session of -scenario to run")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 		memprofile = flag.String("memprofile", "", "write a heap profile (taken after the run) to this path")
 	)
@@ -124,15 +128,45 @@ func main() {
 		sink = obs.Tee(sinks...)
 	}
 
-	spec := experiment.SessionSpec{
-		App: *app, Load: *load, Governor: *gov,
-		Controller: *useCtl, CPUOnly: *cpuOnly,
-		Profile: *profPath, TargetGIPS: *target, Quick: *quick,
-		Seed: *seed, Engine: *engine, Faults: *faultName, TraceEvery: traceEvery,
-		Trace: sink,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		},
+	var spec experiment.SessionSpec
+	if *scenPath != "" {
+		// Scenario mode: the generated session defines the workload and
+		// run conditions; only the observation flags (-record, -trace,
+		// -json, ...) apply on top. The compiled stream is deterministic,
+		// so "-scenario s.json -scenario-index 3" names the same run
+		// every time.
+		if *app != "" {
+			fmt.Fprintln(os.Stderr, "aspeo-run: -app and -scenario are mutually exclusive")
+			flag.Usage()
+			os.Exit(2)
+		}
+		sc, err := scenario.LoadFile(*scenPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		g, err := sc.Compile()
+		if err != nil {
+			fatal("%v", err)
+		}
+		if *scenIdx < 0 || *scenIdx >= len(g.Sessions) {
+			fatal("-scenario-index %d out of range [0, %d)", *scenIdx, len(g.Sessions))
+		}
+		gs := &g.Sessions[*scenIdx]
+		spec = gs.SessionSpec()
+		fmt.Fprintf(os.Stderr, "aspeo-run: scenario %s session %d: %s (cohort %s, load %s, arrival t=%.1fs)\n",
+			g.Name, gs.Index, gs.App.Name, gs.Cohort, gs.Load, gs.ArrivalS)
+	} else {
+		spec = experiment.SessionSpec{
+			App: *app, Load: *load, Governor: *gov,
+			Controller: *useCtl, CPUOnly: *cpuOnly,
+			Profile: *profPath, TargetGIPS: *target, Quick: *quick,
+			Seed: *seed, Engine: *engine, Faults: *faultName,
+		}
+	}
+	spec.TraceEvery = traceEvery
+	spec.Trace = sink
+	spec.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
 	if *ckptOut != "" {
 		spec.CheckpointEvery = *ckptEvery

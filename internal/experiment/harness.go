@@ -26,6 +26,9 @@ type HarnessConfig struct {
 	Foreground *workload.Spec
 	// Load is the background condition (NL/BL/HL).
 	Load workload.BGLoad
+	// ExtraBackground appends additional background tasks after the
+	// load condition's standard set (scenario ambient conditions).
+	ExtraBackground []*workload.Spec
 	// Seed drives the cell's whole stochastic state.
 	Seed int64
 	// Engine selects the simulation core (sim.BackendEvent, the zero
@@ -49,7 +52,8 @@ type HarnessConfig struct {
 func NewHarness(cfg HarnessConfig) (*Harness, error) {
 	ph, err := sim.NewPhone(sim.Config{
 		Foreground: cfg.Foreground, Load: cfg.Load, Seed: cfg.Seed,
-		ScreenOn: true, WiFiOn: true, TraceEvery: cfg.TraceEvery,
+		ExtraBackground: cfg.ExtraBackground,
+		ScreenOn:        true, WiFiOn: true, TraceEvery: cfg.TraceEvery,
 	})
 	if err != nil {
 		return nil, err

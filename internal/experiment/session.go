@@ -27,8 +27,18 @@ import (
 // exactly one place and a 1-session fleet run is the same computation as
 // the equivalent aspeo-run invocation.
 type SessionSpec struct {
-	// App is the application under test (workload.ByName).
+	// App is the application under test (workload.ByName). Ignored for
+	// resolution when AppSpec is set.
 	App string
+	// AppSpec, when non-nil, is an inline application definition — a
+	// generated workload (scenario chain, perturbation, imported trace)
+	// that has no library name. App, if also set, must match
+	// AppSpec.Name; when empty it is filled from it for display.
+	AppSpec *workload.Spec
+	// ExtraBackground appends additional background tasks after the
+	// load condition's standard set — scenario ambient conditions such
+	// as ad-burst storms.
+	ExtraBackground []*workload.Spec
 	// Load is the background condition: NL, BL or HL.
 	Load string
 	// Governor is the baseline cpufreq policy when Controller is false
@@ -98,8 +108,23 @@ type SessionSpec struct {
 // silently: unknown apps, loads, governors and fault scenarios are
 // errors, not no-ops.
 func (s SessionSpec) Validate() error {
-	if _, err := workload.ByName(s.App); err != nil {
+	if s.AppSpec != nil {
+		if err := s.AppSpec.Validate(); err != nil {
+			return err
+		}
+		if s.App != "" && s.App != s.AppSpec.Name {
+			return fmt.Errorf("app %q does not match inline workload %q", s.App, s.AppSpec.Name)
+		}
+	} else if _, err := workload.ByName(s.App); err != nil {
 		return err
+	}
+	for i, bg := range s.ExtraBackground {
+		if bg == nil {
+			return fmt.Errorf("extra background %d: nil spec", i)
+		}
+		if err := bg.Validate(); err != nil {
+			return fmt.Errorf("extra background %d: %w", i, err)
+		}
 	}
 	if _, err := workload.ParseBGLoad(s.Load); err != nil {
 		return err
@@ -192,7 +217,13 @@ func NewSession(spec SessionSpec) (*Session, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	app, _ := workload.ByName(spec.App)
+	app := spec.AppSpec
+	if app == nil {
+		app, _ = workload.ByName(spec.App)
+	}
+	if spec.App == "" {
+		spec.App = app.Name
+	}
 	bg, _ := workload.ParseBGLoad(spec.Load)
 	s := &Session{Spec: spec, App: app, Load: bg}
 
@@ -285,7 +316,8 @@ func NewSession(spec SessionSpec) (*Session, error) {
 
 	backend, _ := sim.ParseBackend(spec.Engine)
 	h, err := NewHarness(HarnessConfig{
-		Foreground: app, Load: bg, Seed: spec.Seed, Engine: backend,
+		Foreground: app, Load: bg, ExtraBackground: spec.ExtraBackground,
+		Seed: spec.Seed, Engine: backend,
 		TraceEvery: spec.TraceEvery, Install: install,
 	})
 	if err != nil {

@@ -41,6 +41,7 @@ import (
 	"aspeo/internal/par"
 	"aspeo/internal/platform"
 	"aspeo/internal/report"
+	"aspeo/internal/workload"
 )
 
 // State is a session's lifecycle state.
@@ -65,8 +66,17 @@ func (s State) Terminal() bool {
 // (restart budget). Zero values select the aspeo-run defaults: load BL,
 // governor interactive, no restarts.
 type Config struct {
-	App        string  `json:"app"`
-	Load       string  `json:"load,omitempty"`
+	App string `json:"app"`
+	// Workload is an inline application definition — a generated
+	// scenario workload (chain, perturbation, trace import) that has no
+	// library name. App must be empty or match Workload.Name. The spec
+	// is plain data and JSON round-trips exactly, so checkpointed
+	// sessions restore bit-identically.
+	Workload *workload.Spec `json:"workload,omitempty"`
+	// ExtraBackground appends ambient background tasks after the load
+	// condition's standard set (scenario ad storms).
+	ExtraBackground []*workload.Spec `json:"extra_background,omitempty"`
+	Load            string           `json:"load,omitempty"`
 	Governor   string  `json:"governor,omitempty"`
 	Controller bool    `json:"controller,omitempty"`
 	CPUOnly    bool    `json:"cpu_only,omitempty"`
@@ -107,7 +117,8 @@ func (c Config) normalized() Config {
 // seed of one particular attempt.
 func (c Config) spec(seed int64) experiment.SessionSpec {
 	s := experiment.SessionSpec{
-		App: c.App, Load: c.Load, Governor: c.Governor,
+		App: c.App, AppSpec: c.Workload, ExtraBackground: c.ExtraBackground,
+		Load: c.Load, Governor: c.Governor,
 		Controller: c.Controller, CPUOnly: c.CPUOnly,
 		Profile: c.Profile, TargetGIPS: c.TargetGIPS, Quick: c.Quick,
 		Seed: seed, Engine: c.Engine, Faults: c.Faults,

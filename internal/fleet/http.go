@@ -8,15 +8,18 @@ import (
 	"strconv"
 	"time"
 
+	"aspeo/internal/jsonx"
 	"aspeo/internal/obs"
 	"aspeo/internal/par"
 	"aspeo/internal/report"
+	"aspeo/internal/scenario"
 )
 
 // NewServer returns the fleet's HTTP/JSON control plane over a manager
 // (stdlib only, as everywhere in this repo):
 //
 //	POST /api/v1/sessions            submit 1..N sessions
+//	POST /api/v1/scenarios           compile a scenario spec, submit its population
 //	GET  /api/v1/sessions[?state=]   list sessions
 //	GET  /api/v1/sessions/{id}       inspect one session
 //	POST /api/v1/sessions/{id}/stop  cooperative stop
@@ -64,6 +67,9 @@ func NewServer(m *Manager) http.Handler {
 		}
 		v, _ := m.Get(id)
 		writeJSON(w, http.StatusAccepted, v)
+	}))
+	mux.Handle("POST /api/v1/scenarios", timed(func(w http.ResponseWriter, r *http.Request) {
+		handleScenario(m, w, r)
 	}))
 	mux.HandleFunc("GET /api/v1/sessions/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
 		handleStream(m, w, r)
@@ -160,9 +166,7 @@ const maxSubmitCount = 4096
 
 func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
 	var req submitRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := jsonx.DecodeStrict(r.Body, &req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody(fmt.Errorf("decoding request: %w", err)))
 		return
 	}
@@ -197,6 +201,51 @@ func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, struct {
 		Sessions []SessionView `json:"sessions"`
 	}{views})
+}
+
+// handleScenario is POST /api/v1/scenarios: the body is a declarative
+// scenario spec (internal/scenario JSON schema, decoded strictly). The
+// server resolves declared trace paths against its own working
+// directory (the Config.Profile precedent), compiles the spec, and
+// submits the generated population in arrival order. Malformed specs
+// answer 400 with the offending field path.
+func handleScenario(m *Manager, w http.ResponseWriter, r *http.Request) {
+	var spec scenario.Spec
+	if err := jsonx.DecodeStrict(r.Body, &spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody(fmt.Errorf("decoding scenario: %w", err)))
+		return
+	}
+	if spec.Sessions > maxSubmitCount {
+		writeJSON(w, http.StatusBadRequest, errorBody(fmt.Errorf("scenario sessions %d outside [1, %d]", spec.Sessions, maxSubmitCount)))
+		return
+	}
+	if err := spec.ResolveTraces(""); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody(err))
+		return
+	}
+	g, err := spec.Compile()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody(err))
+		return
+	}
+	views, err := m.SubmitScenario(g)
+	if err != nil {
+		status := statusFor(err)
+		if status == http.StatusTooManyRequests {
+			m.cShed.With("queue_full").Inc()
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, status, struct {
+			Scenario string        `json:"scenario"`
+			Sessions []SessionView `json:"sessions"`
+			Error    string        `json:"error"`
+		}{g.Name, views, err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, struct {
+		Scenario string        `json:"scenario"`
+		Sessions []SessionView `json:"sessions"`
+	}{g.Name, views})
 }
 
 // handleStream writes the session's status as NDJSON — one SessionView

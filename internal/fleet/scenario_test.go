@@ -1,0 +1,204 @@
+package fleet_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"aspeo/internal/fleet"
+	"aspeo/internal/scenario"
+)
+
+// smallScenario generates a 4-session governor-mode population that
+// runs in test time (short run caps, no profiling).
+func smallScenario() *scenario.Spec {
+	return &scenario.Spec{
+		Name: "test-pop", Seed: 11, Sessions: 4, HorizonS: 60,
+		Cohorts: []scenario.Cohort{
+			{
+				Name: "mix", Weight: 1,
+				Apps:    []string{"spotify", "ebook"},
+				Chain:   &scenario.Chain{Length: 2, DwellS: 2},
+				RunForS: 3,
+			},
+		},
+	}
+}
+
+// TestSubmitScenario: a compiled population submits, runs and lands;
+// every session carries its generated workload inline.
+func TestSubmitScenario(t *testing.T) {
+	m := fleet.NewManager(fleet.Options{Workers: 4})
+	g, err := smallScenario().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	views, err := m.SubmitScenario(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 4 {
+		t.Fatalf("submitted %d sessions, want 4", len(views))
+	}
+	for _, v := range views {
+		final := waitTerminal(t, m, v.ID, 60*time.Second)
+		if final.State != fleet.StateCompleted {
+			t.Errorf("session %s: state %s (%s)", v.ID, final.State, final.Error)
+		}
+		if !strings.HasPrefix(final.Config.App, "chain:") {
+			t.Errorf("session %s: app %q, want a generated chain", v.ID, final.Config.App)
+		}
+		if final.Config.Workload == nil {
+			t.Errorf("session %s: no inline workload", v.ID)
+		}
+	}
+}
+
+// TestConfigWorkloadRoundTrip: a config carrying an inline workload
+// must survive the checkpoint metadata's JSON round-trip exactly — the
+// crash-safety path stores the config as JSON and rebuilds the session
+// from the decoded copy.
+func TestConfigWorkloadRoundTrip(t *testing.T) {
+	g, err := smallScenario().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fleet.ConfigFromSession(&g.Sessions[0])
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back fleet.Config
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatalf("config did not round-trip:\n%s\n%s", b, b2)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped config invalid: %v", err)
+	}
+}
+
+// TestScenarioFleetSmoke is the generated-population smoke `make
+// smoke-gen` runs under the race detector: a 16-session mixed
+// population — chained gamers with an ad storm, perturbed readers —
+// compiles, submits through the worker pool and lands every session.
+func TestScenarioFleetSmoke(t *testing.T) {
+	spec := &scenario.Spec{
+		Name: "smoke-pop", Seed: 23, Sessions: 16, HorizonS: 120,
+		Arrival: scenario.Arrival{
+			Process: scenario.ProcessBursty, BurstFactor: 3,
+			MeanBurstS: 10, MeanCalmS: 30,
+		},
+		LoadCurve: []scenario.CurveTerm{{PeriodS: 120, Amplitude: 0.3, Phase: 0.25}},
+		Cohorts: []scenario.Cohort{
+			{
+				Name: "gamers", Weight: 0.6,
+				Apps:    []string{"spotify", "ebook"},
+				Chain:   &scenario.Chain{Length: 2, DwellS: 2, DwellJitter: 0.2},
+				Loads:   map[string]float64{"BL": 0.7, "HL": 0.3},
+				RunForS: 3,
+				AdStorm: &scenario.AdStorm{PeriodS: 5, BurstS: 1, GIPS: 0.2},
+			},
+			{
+				Name: "readers", Weight: 0.4,
+				Apps:    []string{"ebook"},
+				Perturb: &scenario.Perturb{DemandSigma: 0.25, DurationSigma: 0.2},
+				RunForS: 3,
+			},
+		},
+	}
+	g, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fleet.NewManager(fleet.Options{Workers: 4})
+	views, err := m.SubmitScenario(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 16 {
+		t.Fatalf("submitted %d sessions, want 16", len(views))
+	}
+	storms := 0
+	for _, v := range views {
+		final := waitTerminal(t, m, v.ID, 120*time.Second)
+		if final.State != fleet.StateCompleted {
+			t.Errorf("session %s (%s): state %s (%s)", v.ID, final.Config.App, final.State, final.Error)
+		}
+		storms += len(final.Config.ExtraBackground)
+	}
+	if storms == 0 {
+		t.Error("no session carried an ad-storm background task")
+	}
+}
+
+// TestScenarioEndpoint: POST /api/v1/scenarios compiles and submits;
+// malformed specs answer 400 with the offending field path.
+func TestScenarioEndpoint(t *testing.T) {
+	m := fleet.NewManager(fleet.Options{Workers: 4})
+	srv := httptest.NewServer(fleet.NewServer(m))
+	defer srv.Close()
+
+	post := func(body string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/api/v1/scenarios", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	// Malformed: unknown field, named in the error.
+	code, body := post(`{"name":"x","sessions":2,"cohortz":[]}`)
+	if code != http.StatusBadRequest || !strings.Contains(string(body), "cohortz") {
+		t.Fatalf("unknown field: status %d body %s", code, body)
+	}
+	// Malformed: bad cohort app, field path in the error.
+	code, body = post(`{"name":"x","sessions":2,"cohorts":[{"name":"c","weight":1,"apps":["doom"]}]}`)
+	if code != http.StatusBadRequest || !strings.Contains(string(body), "apps[0]") {
+		t.Fatalf("bad app: status %d body %s", code, body)
+	}
+	// Oversized populations are rejected before compilation.
+	code, _ = post(`{"name":"x","sessions":100000,"cohorts":[{"name":"c","weight":1,"apps":["spotify"]}]}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("oversized: status %d, want 400", code)
+	}
+
+	// A valid scenario is accepted and its sessions land.
+	spec, err := json.Marshal(smallScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body = post(string(spec))
+	if code != http.StatusCreated {
+		t.Fatalf("submit: status %d body %s", code, body)
+	}
+	var resp struct {
+		Scenario string              `json:"scenario"`
+		Sessions []fleet.SessionView `json:"sessions"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Scenario != "test-pop" || len(resp.Sessions) != 4 {
+		t.Fatalf("got scenario %q with %d sessions", resp.Scenario, len(resp.Sessions))
+	}
+	for _, v := range resp.Sessions {
+		final := waitTerminal(t, m, v.ID, 60*time.Second)
+		if final.State != fleet.StateCompleted {
+			t.Errorf("session %s: state %s (%s)", v.ID, final.State, final.Error)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Package jsonx provides strict JSON decoding for the repo's
+// configuration surfaces: scenario specs, fleet session configs and
+// checkpoint metadata. Strict means two things the stdlib decoder does
+// not give by default:
+//
+//   - unknown fields are errors, not silent drops (a typo'd knob must
+//     fail the spec load, never fall through to a default — the same
+//     discipline the CLIs apply to their flags);
+//   - decode errors carry a field path ("cohorts.weight: cannot decode
+//     string into float64") instead of a byte offset, so a hand-edited
+//     spec points at the line to fix.
+package jsonx
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DecodeStrict decodes exactly one JSON value from r into v, rejecting
+// unknown fields and trailing garbage. Errors name the offending field
+// path where the decoder provides one.
+func DecodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return describe(err)
+	}
+	// A config file is one document; trailing content is a structural
+	// mistake (e.g. two concatenated objects) worth failing on.
+	if dec.More() {
+		return fmt.Errorf("trailing content after the JSON document")
+	}
+	return nil
+}
+
+// UnmarshalStrict is DecodeStrict over a byte slice.
+func UnmarshalStrict(data []byte, v any) error {
+	return DecodeStrict(strings.NewReader(string(data)), v)
+}
+
+// describe rewrites the stdlib decoder's errors into field-path form.
+func describe(err error) error {
+	var typeErr *json.UnmarshalTypeError
+	if errors.As(err, &typeErr) {
+		path := typeErr.Field
+		if path == "" {
+			path = "(document root)"
+		}
+		return fmt.Errorf("%s: cannot decode %s into %s", path, typeErr.Value, typeErr.Type)
+	}
+	var synErr *json.SyntaxError
+	if errors.As(err, &synErr) {
+		return fmt.Errorf("syntax error at byte %d: %s", synErr.Offset, synErr.Error())
+	}
+	// The unknown-field error is unexported; its message already names
+	// the field (`json: unknown field "xyz"`). Strip the package prefix
+	// so callers can add their own context.
+	if msg, ok := strings.CutPrefix(err.Error(), "json: "); ok {
+		return errors.New(msg)
+	}
+	return err
+}

@@ -1,0 +1,68 @@
+package jsonx
+
+import (
+	"strings"
+	"testing"
+)
+
+type inner struct {
+	Rate float64 `json:"rate"`
+}
+
+type outer struct {
+	Name    string  `json:"name"`
+	Weight  float64 `json:"weight"`
+	Nested  inner   `json:"nested"`
+	Numbers []int   `json:"numbers"`
+}
+
+func TestDecodeStrictOK(t *testing.T) {
+	var v outer
+	err := UnmarshalStrict([]byte(`{"name":"a","weight":2,"nested":{"rate":0.5},"numbers":[1,2]}`), &v)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if v.Name != "a" || v.Weight != 2 || v.Nested.Rate != 0.5 || len(v.Numbers) != 2 {
+		t.Fatalf("decoded %+v", v)
+	}
+}
+
+func TestDecodeStrictUnknownField(t *testing.T) {
+	var v outer
+	err := UnmarshalStrict([]byte(`{"name":"a","wieght":2}`), &v)
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if !strings.Contains(err.Error(), `"wieght"`) {
+		t.Fatalf("error does not name the field: %v", err)
+	}
+	if strings.HasPrefix(err.Error(), "json: ") {
+		t.Fatalf("error keeps the stdlib prefix: %v", err)
+	}
+}
+
+func TestDecodeStrictFieldPath(t *testing.T) {
+	var v outer
+	err := UnmarshalStrict([]byte(`{"nested":{"rate":"fast"}}`), &v)
+	if err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+	if !strings.Contains(err.Error(), "nested.rate") {
+		t.Fatalf("error lacks the field path: %v", err)
+	}
+}
+
+func TestDecodeStrictTrailingGarbage(t *testing.T) {
+	var v outer
+	if err := UnmarshalStrict([]byte(`{"name":"a"} {"name":"b"}`), &v); err == nil {
+		t.Fatal("trailing document accepted")
+	}
+}
+
+func TestDecodeStrictSyntax(t *testing.T) {
+	var v outer
+	err := UnmarshalStrict([]byte(`{"name":`), &v)
+	if err == nil {
+		t.Fatal("syntax error accepted")
+	}
+}

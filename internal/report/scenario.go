@@ -1,0 +1,92 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"aspeo/internal/scenario"
+)
+
+// Scenario renders a compiled scenario's summary: population counts by
+// cohort/app/load, the phase-count histogram of the synthesized
+// workloads, and the realized arrival histogram next to the spec's
+// expected load curve — the spec author's pre-flight sanity check.
+func Scenario(w io.Writer, s *scenario.Summary) {
+	fmt.Fprintf(w, "scenario %s (seed %d): %d sessions over %.0fs\n",
+		s.Name, s.Seed, s.Sessions, s.HorizonS)
+	fmt.Fprintf(w, "  controller sessions: %d / %d   storm-carrying: %d\n",
+		s.Controller, s.Sessions, s.Storms)
+	fmt.Fprintf(w, "  mean phases/session: %.1f   mean session length: %.1fs\n\n",
+		s.MeanPhases, s.MeanRunForS)
+
+	countTable(w, "cohort", s.Cohorts, s.Sessions)
+	countTable(w, "app", s.Apps, s.Sessions)
+	countTable(w, "load", s.Loads, s.Sessions)
+
+	fmt.Fprintln(w, "phase-count histogram")
+	maxSess := 1
+	for _, h := range s.PhaseHist {
+		if h.Sessions > maxSess {
+			maxSess = h.Sessions
+		}
+	}
+	for _, h := range s.PhaseHist {
+		fmt.Fprintf(w, "  %5d phases  %-30s %d\n", h.Phases, bar(h.Sessions, maxSess, 30), h.Sessions)
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "arrival curve (per bucket: realized #, | marks the spec's expectation)")
+	maxArr := 1.0
+	for _, p := range s.ArrivalCurve {
+		if float64(p.Arrivals) > maxArr {
+			maxArr = float64(p.Arrivals)
+		}
+		if p.Expected > maxArr {
+			maxArr = p.Expected
+		}
+	}
+	for _, p := range s.ArrivalCurve {
+		const width = 40
+		n := scaleTo(float64(p.Arrivals), maxArr, width)
+		e := scaleTo(p.Expected, maxArr, width)
+		row := []byte(strings.Repeat("#", n) + strings.Repeat(" ", width-n))
+		if e >= width {
+			e = width - 1
+		}
+		row[e] = '|'
+		fmt.Fprintf(w, "  t=%6.0fs  %s %d\n", p.TS, row, p.Arrivals)
+	}
+}
+
+// countTable prints one labelled count column with shares.
+func countTable(w io.Writer, what string, rows []scenario.CountRow, total int) {
+	fmt.Fprintf(w, "sessions by %s\n", what)
+	for _, r := range rows {
+		share := 0.0
+		if total > 0 {
+			share = float64(r.Count) / float64(total) * 100
+		}
+		fmt.Fprintf(w, "  %-28s %6d  (%.1f%%)\n", Label(r.Name), r.Count, share)
+	}
+	fmt.Fprintln(w)
+}
+
+func bar(v, max, width int) string {
+	n := scaleTo(float64(v), float64(max), width)
+	return strings.Repeat("#", n)
+}
+
+func scaleTo(v, max float64, width int) int {
+	if max <= 0 {
+		return 0
+	}
+	n := int(v / max * float64(width))
+	if n > width {
+		n = width
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}

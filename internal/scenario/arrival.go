@@ -1,0 +1,141 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// curveFloor is the minimum value of the load-curve factor. Validation
+// bounds the amplitude sum at 0.95, so a valid spec never reaches the
+// floor; it exists as numerical insurance for the rejection sampler.
+const curveFloor = 0.05
+
+// curveFactor evaluates the load curve's intensity multiplier at time t
+// (seconds): 1 plus the sum of the sinusoidal terms.
+func (s *Spec) curveFactor(t float64) float64 {
+	f := 1.0
+	for _, ct := range s.LoadCurve {
+		f += ct.Amplitude * math.Sin(2*math.Pi*(t/ct.PeriodS+ct.Phase))
+	}
+	if f < curveFloor {
+		f = curveFloor
+	}
+	return f
+}
+
+// curveMax is an upper bound on curveFactor over all t.
+func (s *Spec) curveMax() float64 {
+	m := 1.0
+	for _, ct := range s.LoadCurve {
+		m += math.Abs(ct.Amplitude)
+	}
+	return m
+}
+
+// arrivalTimes generates the sorted arrival times (seconds in
+// [0, horizon)) of all sessions. The fixed process is fully
+// deterministic; the stochastic processes draw sequentially from rng —
+// arrival order is inherently a sequence, so this stage is the
+// compiler's one sequential phase.
+func (s *Spec) arrivalTimes(rng *rand.Rand) []float64 {
+	switch s.Arrival.Process {
+	case ProcessPoisson:
+		return s.sampleArrivals(rng, func(t float64) float64 { return s.curveFactor(t) }, s.curveMax())
+	case ProcessBursty:
+		return s.burstyArrivals(rng)
+	default: // ProcessFixed and ""
+		return s.fixedArrivals()
+	}
+}
+
+// fixedArrivals spaces the population deterministically so the local
+// arrival density follows the load curve exactly: session i arrives
+// where the cumulative curve mass reaches (i+½)/N of the total —
+// time-warped even spacing, zero variance.
+func (s *Spec) fixedArrivals() []float64 {
+	h := s.horizon()
+	// Trapezoidal cumulative integral of the curve on a fine grid; the
+	// grid resolution only has to resolve the shortest curve period.
+	const grid = 4096
+	cum := make([]float64, grid+1)
+	dt := h / grid
+	for k := 1; k <= grid; k++ {
+		a := s.curveFactor(float64(k-1) * dt)
+		b := s.curveFactor(float64(k) * dt)
+		cum[k] = cum[k-1] + (a+b)/2*dt
+	}
+	total := cum[grid]
+
+	out := make([]float64, s.Sessions)
+	k := 0
+	for i := range out {
+		target := (float64(i) + 0.5) / float64(s.Sessions) * total
+		for k < grid && cum[k+1] < target {
+			k++
+		}
+		// Linear inversion within grid cell k.
+		span := cum[k+1] - cum[k]
+		frac := 0.0
+		if span > 0 {
+			frac = (target - cum[k]) / span
+		}
+		out[i] = (float64(k) + frac) * dt
+	}
+	return out
+}
+
+// sampleArrivals draws the population i.i.d. from the density
+// proportional to rate(t) on [0, horizon) by rejection against the
+// bound, then sorts — conditioned on the population size, an
+// inhomogeneous Poisson process's arrival times are exactly such an
+// i.i.d. sample.
+func (s *Spec) sampleArrivals(rng *rand.Rand, rate func(float64) float64, bound float64) []float64 {
+	h := s.horizon()
+	out := make([]float64, s.Sessions)
+	for i := range out {
+		for {
+			t := rng.Float64() * h
+			if rng.Float64()*bound <= rate(t) {
+				out[i] = t
+				break
+			}
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// burstyArrivals modulates the curve with a two-state Markov burst/calm
+// process (an MMPP): the burst timeline is drawn first from exponential
+// dwells, then the population is sampled against the combined rate.
+func (s *Spec) burstyArrivals(rng *rand.Rand) []float64 {
+	h := s.horizon()
+	// Alternating calm/burst interval boundaries covering [0, h]. bounds
+	// holds the switch times; the state starting at bounds[k] is burst
+	// when k is odd (the timeline starts calm).
+	bounds := []float64{0}
+	t := 0.0
+	for t < h {
+		mean := s.Arrival.MeanCalmS
+		if len(bounds)%2 == 0 { // next interval is burst
+			mean = s.Arrival.MeanBurstS
+		}
+		t += rng.ExpFloat64() * mean
+		bounds = append(bounds, t)
+	}
+	burstAt := func(t float64) bool {
+		k := sort.SearchFloat64s(bounds, t)
+		// t falls in the interval starting at bounds[k-1]; that interval
+		// is burst when k-1 is odd.
+		return (k-1)%2 == 1
+	}
+	rate := func(t float64) float64 {
+		f := s.curveFactor(t)
+		if burstAt(t) {
+			f *= s.Arrival.BurstFactor
+		}
+		return f
+	}
+	return s.sampleArrivals(rng, rate, s.curveMax()*s.Arrival.BurstFactor)
+}

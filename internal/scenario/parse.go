@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"aspeo/internal/jsonx"
+	"aspeo/internal/trace"
+	"aspeo/internal/workload"
+)
+
+// Parse decodes a JSON scenario spec strictly — unknown fields, type
+// mismatches and trailing garbage are errors carrying the offending
+// field path — and validates it. Trace references are validated but not
+// resolved; use LoadFile (which resolves paths against the spec file's
+// directory) or ResolveTraces.
+func Parse(data []byte) (*Spec, error) {
+	var s Spec
+	if err := jsonx.UnmarshalStrict(data, &s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return &s, nil
+}
+
+// LoadFile reads, parses and fully resolves a scenario spec: relative
+// trace paths resolve against the spec file's directory, and every
+// declared trace is imported into a runnable workload.
+func LoadFile(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := s.ResolveTraces(filepath.Dir(path)); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// ResolveTraces imports every declared trace file into TraceWorkloads.
+// Relative paths resolve against dir ("" = the working directory).
+// Already-resolved names (programmatically populated TraceWorkloads)
+// are kept.
+func (s *Spec) ResolveTraces(dir string) error {
+	for name, p := range s.Traces {
+		if s.TraceWorkloads[name] != nil {
+			continue
+		}
+		if !filepath.IsAbs(p) && dir != "" {
+			p = filepath.Join(dir, p)
+		}
+		f, err := os.Open(p)
+		if err != nil {
+			return fmt.Errorf("traces[%s]: %w", name, err)
+		}
+		pts, err := trace.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("traces[%s]: %w", name, err)
+		}
+		w, err := ImportTrace(name, pts)
+		if err != nil {
+			return fmt.Errorf("traces[%s]: %w", name, err)
+		}
+		if s.TraceWorkloads == nil {
+			s.TraceWorkloads = map[string]*workload.Spec{}
+		}
+		s.TraceWorkloads[name] = w
+	}
+	return nil
+}

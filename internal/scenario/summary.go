@@ -1,0 +1,155 @@
+package scenario
+
+import (
+	"sort"
+	"time"
+)
+
+// Summary is the compiled stream's shape at a glance: what aspeo-gen
+// prints so a spec author can sanity-check a scenario before spending
+// fleet time on it.
+type Summary struct {
+	Name     string `json:"name"`
+	Seed     int64  `json:"seed"`
+	Sessions int    `json:"sessions"`
+
+	// HorizonS is the arrival span actually realized.
+	HorizonS float64 `json:"horizon_s"`
+
+	// Cohorts, Apps and Loads count sessions by draw.
+	Cohorts []CountRow `json:"cohorts"`
+	Apps    []CountRow `json:"apps"`
+	Loads   []CountRow `json:"loads"`
+
+	// Controller counts controller-mode sessions (the rest run stock
+	// governors).
+	Controller int `json:"controller"`
+	// Storms counts sessions carrying extra background tasks.
+	Storms int `json:"storms"`
+
+	// PhaseHist is the distribution of per-session phase counts.
+	PhaseHist []HistRow `json:"phase_hist"`
+	// MeanPhases and MeanRunForS summarize synthesized session size.
+	MeanPhases  float64 `json:"mean_phases"`
+	MeanRunForS float64 `json:"mean_run_for_s"`
+
+	// ArrivalCurve is the arrival-rate histogram over the horizon
+	// (sessions per bucket) next to the spec's expected load curve,
+	// normalized to the same mass — the visual check that the arrival
+	// process follows the curve.
+	ArrivalCurve []CurvePoint `json:"arrival_curve"`
+}
+
+// CountRow is one labelled session count.
+type CountRow struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+}
+
+// HistRow is one phase-count histogram bucket.
+type HistRow struct {
+	Phases   int `json:"phases"`
+	Sessions int `json:"sessions"`
+}
+
+// CurvePoint is one arrival-curve bucket.
+type CurvePoint struct {
+	TS       float64 `json:"t_s"`      // bucket start
+	Arrivals int     `json:"arrivals"` // sessions arriving in the bucket
+	Expected float64 `json:"expected"` // spec's expected arrivals in the bucket
+}
+
+// arrivalBuckets is the arrival-curve resolution.
+const arrivalBuckets = 24
+
+// Summarize computes the stream's summary against its spec.
+func (s *Spec) Summarize(g *Generated) *Summary {
+	sum := &Summary{
+		Name:     g.Name,
+		Seed:     g.Seed,
+		Sessions: len(g.Sessions),
+		HorizonS: s.horizon(),
+	}
+	cohorts := map[string]int{}
+	apps := map[string]int{}
+	loads := map[string]int{}
+	phaseHist := map[int]int{}
+	var phases int
+	var runFor time.Duration
+	for i := range g.Sessions {
+		sess := &g.Sessions[i]
+		cohorts[sess.Cohort]++
+		apps[sess.App.Name]++
+		loads[sess.Load]++
+		if sess.Controller {
+			sum.Controller++
+		}
+		if len(sess.ExtraBackground) > 0 {
+			sum.Storms++
+		}
+		phaseHist[len(sess.App.Phases)]++
+		phases += len(sess.App.Phases)
+		runFor += sess.App.RunFor
+	}
+	sum.Cohorts = countRows(cohorts)
+	sum.Apps = countRows(apps)
+	sum.Loads = countRows(loads)
+	if n := len(g.Sessions); n > 0 {
+		sum.MeanPhases = float64(phases) / float64(n)
+		sum.MeanRunForS = runFor.Seconds() / float64(n)
+	}
+	for p, c := range phaseHist {
+		sum.PhaseHist = append(sum.PhaseHist, HistRow{Phases: p, Sessions: c})
+	}
+	sort.Slice(sum.PhaseHist, func(i, j int) bool { return sum.PhaseHist[i].Phases < sum.PhaseHist[j].Phases })
+	sum.ArrivalCurve = s.arrivalCurve(g)
+	return sum
+}
+
+// arrivalCurve buckets the realized arrivals and computes the spec's
+// expected count per bucket from the load curve (burst modulation
+// averages out in expectation; its mean lift is folded into the
+// normalization).
+func (s *Spec) arrivalCurve(g *Generated) []CurvePoint {
+	h := s.horizon()
+	dt := h / arrivalBuckets
+	out := make([]CurvePoint, arrivalBuckets)
+	mass := make([]float64, arrivalBuckets)
+	var total float64
+	for b := range out {
+		out[b].TS = float64(b) * dt
+		// Midpoint evaluation is plenty for a 24-bucket check.
+		mass[b] = s.curveFactor((float64(b) + 0.5) * dt)
+		total += mass[b]
+	}
+	for i := range g.Sessions {
+		b := int(g.Sessions[i].ArrivalS / dt)
+		if b < 0 {
+			b = 0
+		}
+		if b >= arrivalBuckets {
+			b = arrivalBuckets - 1
+		}
+		out[b].Arrivals++
+	}
+	for b := range out {
+		out[b].Expected = mass[b] / total * float64(len(g.Sessions))
+	}
+	return out
+}
+
+// countRows converts a count map to rows sorted by descending count,
+// then name.
+func countRows(m map[string]int) []CountRow {
+	rows := make([]CountRow, 0, len(m))
+	for k, v := range m {
+		rows = append(rows, CountRow{Name: k, Count: v})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
+}

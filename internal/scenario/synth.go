@@ -1,0 +1,268 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"aspeo/internal/perfmodel"
+	"aspeo/internal/workload"
+)
+
+// minSegment is the shortest chain segment tail worth emitting; paced
+// phases need positive durations and a sub-millisecond sliver of an app
+// is measurement noise.
+const minSegment = 10 * time.Millisecond
+
+// synthApp builds one session's foreground workload from the cohort
+// definition: resolve (single app) or chain-synthesize (multi-app or
+// explicit chain), then perturb. Every returned spec is freshly owned —
+// never an alias of a library spec or another session's.
+func (s *Spec) synthApp(c *Cohort, rng *rand.Rand) (*workload.Spec, error) {
+	var app *workload.Spec
+	chained := false
+	if len(c.Apps) == 1 && c.Chain == nil {
+		base, err := s.appByName(c.Apps[0])
+		if err != nil {
+			return nil, err
+		}
+		app = base.Clone()
+	} else {
+		var err error
+		app, err = s.synthChain(c, rng)
+		if err != nil {
+			return nil, err
+		}
+		chained = true
+	}
+	if c.Perturb != nil {
+		perturb(app, c.Perturb, rng)
+		if chained {
+			// Perturbation rounds each phase duration independently;
+			// restore the chain invariant RunFor == Σ phase durations.
+			var total time.Duration
+			for _, p := range app.Phases {
+				total += p.Duration
+			}
+			app.RunFor = total
+		}
+	}
+	return app, nil
+}
+
+// appByName resolves a cohort app-pool entry: a library workload or a
+// "trace:" reference into the resolved trace workloads.
+func (s *Spec) appByName(name string) (*workload.Spec, error) {
+	if tn, ok := strings.CutPrefix(name, "trace:"); ok {
+		if w := s.TraceWorkloads[tn]; w != nil {
+			return w, nil
+		}
+		return nil, fmt.Errorf("trace workload %q not resolved (LoadFile resolves declared traces; programmatic specs populate TraceWorkloads)", tn)
+	}
+	return workload.ByName(name)
+}
+
+// synthChain composes an app-switch session: a sequence of dwell
+// segments, each running one app from the cohort pool for a jittered
+// dwell, stitched into a single workload spec. The segment's phases
+// follow the constituent app's own phase cycle (truncated at the dwell
+// boundary), so a chain over AngryBirds and Spotify spends its gaming
+// segments in real game phases.
+func (s *Spec) synthChain(c *Cohort, rng *rand.Rand) (*workload.Spec, error) {
+	ch := c.Chain
+	if ch == nil {
+		ch = &Chain{}
+	}
+	length := ch.Length
+	if length == 0 {
+		length = DefaultChainLength
+	}
+	dwellMean := ch.DwellS
+	if dwellMean == 0 {
+		dwellMean = DefaultDwellS
+	}
+
+	// Draw the app sequence. Without SelfLoop consecutive segments
+	// differ (when the pool allows it).
+	seq := make([]*workload.Spec, length)
+	names := make([]string, length)
+	prev := -1
+	for i := range seq {
+		j := rng.Intn(len(c.Apps))
+		if !ch.SelfLoop && len(c.Apps) > 1 && j == prev {
+			j = (j + 1 + rng.Intn(len(c.Apps)-1)) % len(c.Apps)
+		}
+		prev = j
+		app, err := s.appByName(c.Apps[j])
+		if err != nil {
+			return nil, err
+		}
+		seq[i] = app
+		names[i] = app.Name
+	}
+
+	spec := &workload.Spec{
+		Name: "chain:" + strings.Join(names, ">"),
+		Loop: true,
+	}
+	var total time.Duration
+	for si, app := range seq {
+		dwell := time.Duration(dwellMean * lognormal(rng, ch.DwellJitter) * float64(time.Second))
+		if dwell < minSegment {
+			dwell = minSegment
+		}
+		total += dwell
+		// Walk the app's phase cycle until the dwell is spent; the final
+		// phase is truncated to the remainder (paced) or window-bounded
+		// (batch), so the segment length is exact.
+		pi := 0
+		for dwell > 0 {
+			p := app.Phases[pi%len(app.Phases)]
+			pi++
+			d := nominalDuration(p)
+			if d > dwell {
+				d = dwell
+			}
+			if d < minSegment && dwell > d {
+				d = minSegment
+			}
+			switch p.Kind {
+			case workload.Paced:
+				p.Duration = d
+			case workload.Batch:
+				// Window the batch at the segment boundary: the budget
+				// races, the remainder idles or is abandoned — an app
+				// being switched away from mid-load.
+				scale := d.Seconds() / nominalDuration(p).Seconds()
+				if scale < 1 {
+					p.InstrBudget *= scale
+				}
+				p.Duration = d
+			}
+			p.Name = fmt.Sprintf("s%d.%s", si, p.Name)
+			spec.Phases = append(spec.Phases, p)
+			dwell -= d
+		}
+	}
+	spec.RunFor = total
+	spec.ProfileFreqIdxs = chainFreqIdxs(seq)
+	return spec, nil
+}
+
+// chainFreqIdxs merges the constituents' profiling ladders: the
+// intersection (every app agrees the point is worth profiling), falling
+// back to the union when the apps' ranges are disjoint.
+func chainFreqIdxs(seq []*workload.Spec) []int {
+	count := map[int]int{}
+	for _, app := range seq {
+		seen := map[int]bool{}
+		for _, i := range app.ProfileFreqIdxs {
+			if !seen[i] {
+				seen[i] = true
+				count[i]++
+			}
+		}
+	}
+	var inter, union []int
+	for i, n := range count {
+		union = append(union, i)
+		if n == len(seq) {
+			inter = append(inter, i)
+		}
+	}
+	out := inter
+	if len(out) == 0 {
+		out = union
+	}
+	sort.Ints(out)
+	return out
+}
+
+// perturb scales the spec's demand and duration knobs with mean-one
+// lognormal multipliers — one draw per knob per session, so a perturbed
+// session is a coherently heavier (or lighter) configuration of the
+// app, not per-phase noise (workload jitter already models that).
+// Multiplicative scaling of positive parameters preserves every
+// Validate invariant.
+func perturb(spec *workload.Spec, p *Perturb, rng *rand.Rand) {
+	dm := lognormal(rng, p.DemandSigma)
+	um := lognormal(rng, p.DurationSigma)
+	for i := range spec.Phases {
+		ph := &spec.Phases[i]
+		ph.DemandGIPS *= dm
+		ph.InstrBudget *= dm
+		if ph.Duration > 0 {
+			ph.Duration = time.Duration(float64(ph.Duration) * um)
+			if ph.Duration < time.Millisecond {
+				ph.Duration = time.Millisecond
+			}
+		}
+	}
+	if um != 1 {
+		spec.RunFor = time.Duration(float64(spec.RunFor) * um)
+		if spec.RunFor < time.Millisecond {
+			spec.RunFor = time.Millisecond
+		}
+	}
+}
+
+// lognormal draws a mean-one lognormal multiplier with σ = sigma.
+func lognormal(rng *rand.Rand, sigma float64) float64 {
+	if sigma <= 0 {
+		return 1
+	}
+	return math.Exp(sigma*rng.NormFloat64() - sigma*sigma/2)
+}
+
+// stormTraits is the ad machinery's compute profile: bursty,
+// memory-light glue code.
+var stormTraits = perfmodel.Traits{CPI: 1.8, BPI: 0.6, Par: 1.0, Overlap: 0.1}
+
+// adStormSpec builds the ambient ad-burst background task: an eternal
+// loop of calm then burst, the burst lighting CPU demand, network
+// traffic and radio power at once.
+func adStormSpec(st *AdStorm) *workload.Spec {
+	return &workload.Spec{
+		Name: "ad-storm",
+		Phases: []workload.Phase{
+			{
+				Name: "calm", Kind: workload.Paced, Traits: stormTraits,
+				Duration:   time.Duration((st.PeriodS - st.BurstS) * float64(time.Second)),
+				DemandGIPS: 1e-3,
+			},
+			{
+				Name: "burst", Kind: workload.Paced, Traits: stormTraits,
+				Duration:   time.Duration(st.BurstS * float64(time.Second)),
+				DemandGIPS: st.GIPS,
+				NetBps:     st.NetBps,
+				AuxBaseW:   st.AuxW,
+			},
+		},
+		Loop:       true,
+		RunFor:     time.Hour,
+		Background: true,
+	}
+}
+
+// pickWeighted draws a key from weights using rng, iterating keys in
+// sorted order so the draw is independent of map iteration order.
+func pickWeighted(rng *rand.Rand, weights map[string]float64) string {
+	keys := make([]string, 0, len(weights))
+	total := 0.0
+	for k, w := range weights {
+		keys = append(keys, k)
+		total += w
+	}
+	sort.Strings(keys)
+	x := rng.Float64() * total
+	for _, k := range keys {
+		x -= weights[k]
+		if x < 0 {
+			return k
+		}
+	}
+	return keys[len(keys)-1]
+}

@@ -45,9 +45,15 @@ type Config struct {
 	Power      power.Params
 	Foreground *workload.Spec
 	Load       workload.BGLoad
-	Seed       int64
-	ScreenOn   bool
-	WiFiOn     bool
+	// ExtraBackground appends additional background tasks after the
+	// load condition's standard set — the scenario layer's ambient
+	// conditions (ad-burst storms, cohort-specific services). Seeded
+	// deterministically in slice order, continuing the standard set's
+	// seed scheme.
+	ExtraBackground []*workload.Spec
+	Seed            int64
+	ScreenOn        bool
+	WiFiOn          bool
 	// Recorder decimation; 0 disables trace recording.
 	TraceEvery time.Duration
 }
@@ -143,7 +149,17 @@ func NewPhone(cfg Config) (*Phone, error) {
 		cpuHist:    histogram.New("cpu-frequency residency", len(cfg.SoC.CPUFreqs)),
 		bwHist:     histogram.New("memory-bandwidth residency", len(cfg.SoC.MemBWs)),
 	}
-	for i, spec := range workload.Background(cfg.Load, cfg.Foreground.Name) {
+	bgSpecs := workload.Background(cfg.Load, cfg.Foreground.Name)
+	for _, spec := range cfg.ExtraBackground {
+		if spec == nil {
+			return nil, fmt.Errorf("sim: nil extra background spec")
+		}
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: extra background: %w", err)
+		}
+		bgSpecs = append(bgSpecs, spec)
+	}
+	for i, spec := range bgSpecs {
 		p.bg = append(p.bg, workload.NewTask(spec, cfg.Seed+int64(1000+i)))
 	}
 	p.tasks = make([]*workload.Task, 0, 1+len(p.bg))

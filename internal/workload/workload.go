@@ -173,6 +173,18 @@ func (s *Spec) Validate() error {
 	return nil
 }
 
+// Clone returns a deep copy of the spec. Generated workloads (scenario
+// perturbations, chain synthesis) mutate their copy freely without
+// aliasing the library specs or each other: Phase carries only value
+// types, so copying the phase slice and the frequency-index slice makes
+// the copy fully independent.
+func (s *Spec) Clone() *Spec {
+	c := *s
+	c.Phases = append([]Phase(nil), s.Phases...)
+	c.ProfileFreqIdxs = append([]int(nil), s.ProfileFreqIdxs...)
+	return &c
+}
+
 // TotalBatchInstr returns the total instruction budget of one iteration
 // of the phase sequence (batch phases only).
 func (s *Spec) TotalBatchInstr() float64 {
@@ -224,6 +236,16 @@ func NewTask(spec *Spec, seed int64) *Task {
 		rngSrc:    src,
 		jitterMul: 1,
 	}
+}
+
+// Reset rewinds the task to its initial state under a fresh seed —
+// bit-identical to NewTask(t.Spec, seed). One Task definition can then
+// back many generated sessions in turn (the scenario compiler's reuse
+// path) instead of callers rebuilding tasks by hand; no phase state,
+// backlog, drop accounting or rng position leaks from the previous run.
+func (t *Task) Reset(seed int64) {
+	rng, src := detrand.New(seed)
+	*t = Task{Spec: t.Spec, rng: rng, rngSrc: src, jitterMul: 1}
 }
 
 // Demand is what a task wants from the machine for one step.
