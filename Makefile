@@ -1,10 +1,10 @@
 # CI entry points. `make ci` is what .github/workflows/ci.yml runs:
 # vet, build, the full test suite under the race detector, the
-# benchmark regression check against the committed BENCH_9.json record,
+# benchmark regression check against the committed BENCH_10.json record,
 # the fault-campaign, record/replay, fleet control-plane, decision-trace,
-# chaos/kill-restore, cross-engine golden-equivalence and scenario-
-# generator smoke tests, and — when the tools are on PATH —
-# staticcheck and govulncheck.
+# chaos/kill-restore, cross-engine golden-equivalence, scenario-
+# generator and telemetry-pipeline smoke tests, and — when the tools
+# are on PATH — staticcheck and govulncheck.
 
 GO ?= go
 
@@ -13,9 +13,9 @@ GO ?= go
 # allocs/op visible without paying for statistically stable timings.
 MICROBENCH = $(GO) test -run='^$$' -bench='BenchmarkOptimize|BenchmarkControllerCycle|BenchmarkNewFrontier' -benchtime=1x ./internal/core/...
 
-.PHONY: ci vet build test race bench bench-check bench-campaign smoke-faults smoke-replay smoke-fleet smoke-trace smoke-chaos smoke-event smoke-gen lint vuln fuzz
+.PHONY: ci vet build test race bench bench-check bench-campaign smoke-faults smoke-replay smoke-fleet smoke-trace smoke-chaos smoke-event smoke-gen smoke-telemetry lint vuln fuzz
 
-ci: vet build race bench-check smoke-faults smoke-replay smoke-fleet smoke-trace smoke-chaos smoke-event smoke-gen lint vuln
+ci: vet build race bench-check smoke-faults smoke-replay smoke-fleet smoke-trace smoke-chaos smoke-event smoke-gen smoke-telemetry lint vuln
 
 vet:
 	$(GO) vet ./...
@@ -31,12 +31,14 @@ race:
 
 # Refresh the tracked benchmark record: the micro-benchmarks, then the
 # fixed-scenario suite (6 evaluated apps + eBook × 3 background loads
-# under the controller, a 256-session fleet slice, and a 64-session
-# generated population from internal/scenario) written to BENCH_9.json.
-# Run on a quiet machine and commit the result.
+# under the controller, a 256-session fleet slice — plain and fully
+# observed (cohort labels + concurrent scrapes + a stream subscriber,
+# the telemetry-overhead cell) — and a 64-session generated population
+# from internal/scenario) written to BENCH_10.json. Run on a quiet
+# machine and commit the result.
 bench:
 	$(MICROBENCH)
-	$(GO) run ./cmd/aspeo-bench -out BENCH_9.json
+	$(GO) run ./cmd/aspeo-bench -out BENCH_10.json
 
 # Regression gate: re-run the suite and fail on >10% regression of
 # calibration-normalized throughput or raw allocs/cycle against the
@@ -44,7 +46,7 @@ bench:
 # (untracked) for inspection.
 bench-check:
 	$(MICROBENCH)
-	$(GO) run ./cmd/aspeo-bench -check BENCH_9.json -out bench-current.json
+	$(GO) run ./cmd/aspeo-bench -check BENCH_10.json -out bench-current.json
 
 # One fault scenario end to end at Quick fidelity: faults delivered,
 # ledger populated, hardened slack bounded by the stock governors'.
@@ -93,6 +95,14 @@ smoke-event:
 # submits through the fleet worker pool and lands every session.
 smoke-gen:
 	$(GO) test -count=1 -race -run='TestExampleScenarioGolden|TestScenarioFleetSmoke' ./cmd/aspeo-gen/ ./internal/fleet/
+
+# The telemetry pipeline end to end, under the race detector: a seeded
+# saturating population must report its brownout deterministically
+# (byte-identical rollups across runs), and a 64-session fleet with a
+# live stream subscriber must replay its captured NDJSON into the exact
+# live rollup while scrapes hammer the epoch-snapshot path.
+smoke-telemetry:
+	$(GO) test -count=1 -race -run='TestBrownoutGolden|TestTelemetryPipelineSmoke|TestTelemetryScrapeUnderLoad' ./internal/fleet/
 
 # staticcheck and govulncheck run when installed (CI installs them);
 # locally they no-op with a note rather than failing the build.

@@ -23,10 +23,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 	"time"
 
 	"aspeo/internal/benchrec"
@@ -34,7 +36,9 @@ import (
 	"aspeo/internal/experiment"
 	"aspeo/internal/fleet"
 	"aspeo/internal/histogram"
+	"aspeo/internal/obs/pipeline"
 	"aspeo/internal/profile"
+	"aspeo/internal/report"
 	"aspeo/internal/scenario"
 	"aspeo/internal/sim"
 	"aspeo/internal/workload"
@@ -165,12 +169,24 @@ func run() int {
 			p := preps[spec.Name+"/BL"]
 			tables[spec.Name], targets[spec.Name] = p.tab, p.target
 		}
-		sc, err := runFleet(*fleetN, apps, tables, targets, *seed, *engineName)
+		sc, err := runFleet(*fleetN, apps, tables, targets, *seed, *engineName, false)
 		if err != nil {
 			return fatal("fleet: %v", err)
 		}
 		logScenario(sc)
 		rec.Scenarios = append(rec.Scenarios, sc)
+
+		// The telemetry-overhead cell: the same slice under full
+		// observation — cohort labels, concurrent rollup scrapes, a live
+		// stream subscriber. Its gates hold the pipeline to its promise:
+		// cycles/sec and allocs/cycle indistinguishable from the
+		// unobserved slice.
+		scT, err := runFleet(*fleetN, apps, tables, targets, *seed, *engineName, true)
+		if err != nil {
+			return fatal("fleet-telemetry: %v", err)
+		}
+		logScenario(scT)
+		rec.Scenarios = append(rec.Scenarios, scT)
 	}
 	if *genN > 0 {
 		sc, err := runGenerated(*genN, *seed, *engineName)
@@ -333,13 +349,13 @@ func runAppOnce(spec *workload.Spec, load workload.BGLoad, tab *profile.Table, t
 // plane's end-to-end throughput, not a single cell's. Best of two:
 // concurrent schedules are where machine noise bites hardest.
 func runFleet(n int, apps []*workload.Spec, tables map[string]*profile.Table,
-	targets map[string]float64, seed int64, engine string) (benchrec.Scenario, error) {
+	targets map[string]float64, seed int64, engine string, telemetry bool) (benchrec.Scenario, error) {
 
-	sc, err := runFleetOnce(n, apps, tables, targets, seed, engine)
+	sc, err := runFleetOnce(n, apps, tables, targets, seed, engine, telemetry)
 	if err != nil {
 		return sc, err
 	}
-	again, err := runFleetOnce(n, apps, tables, targets, seed, engine)
+	again, err := runFleetOnce(n, apps, tables, targets, seed, engine, telemetry)
 	if err != nil {
 		return sc, err
 	}
@@ -355,10 +371,13 @@ func runFleet(n int, apps []*workload.Spec, tables map[string]*profile.Table,
 }
 
 func runFleetOnce(n int, apps []*workload.Spec, tables map[string]*profile.Table,
-	targets map[string]float64, seed int64, engine string) (benchrec.Scenario, error) {
+	targets map[string]float64, seed int64, engine string, telemetry bool) (benchrec.Scenario, error) {
 
 	var sc benchrec.Scenario
 	sc.Name = fmt.Sprintf("fleet-%d", n)
+	if telemetry {
+		sc.Name += "-telemetry"
+	}
 	dir, err := os.MkdirTemp("", "aspeo-bench-")
 	if err != nil {
 		return sc, err
@@ -382,6 +401,47 @@ func runFleetOnce(n int, apps []*workload.Spec, tables map[string]*profile.Table
 	}
 
 	m := fleet.NewManager(fleet.Options{})
+	// Under telemetry the slice runs fully observed: every allocation
+	// the scrapers and the subscriber provoke lands inside the same
+	// malloc window as the sessions, so the allocs/cycle gate holds the
+	// whole pipeline to account, not just the hot path.
+	var (
+		stopObs  chan struct{}
+		obsDone  sync.WaitGroup
+		cohorts  = []string{"game", "video", "browser", "reader"}
+		unsub    func()
+		streamCh <-chan pipeline.StreamBatch
+	)
+	if telemetry {
+		streamCh, unsub = m.Telemetry().Subscribe(1024)
+		defer unsub()
+		stopObs = make(chan struct{})
+		obsDone.Add(2)
+		go func() { // concurrent scrape: rollup + Prometheus exposition
+			defer obsDone.Done()
+			tick := time.NewTicker(50 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopObs:
+					return
+				case <-tick.C:
+					report.RollupMetrics(m.Registry(), m.Rollup())
+					_ = m.Registry().WriteText(io.Discard)
+				}
+			}
+		}()
+		go func() { // live stream subscriber
+			defer obsDone.Done()
+			for {
+				select {
+				case <-stopObs:
+					return
+				case <-streamCh:
+				}
+			}
+		}()
+	}
 	var m0, m1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&m0)
@@ -389,11 +449,18 @@ func runFleetOnce(n int, apps []*workload.Spec, tables map[string]*profile.Table
 	ids := make([]string, 0, n)
 	for i := 0; i < n; i++ {
 		app := apps[i%len(apps)]
-		v, err := m.Submit(fleet.Config{
+		cfg := fleet.Config{
 			App: app.Name, Controller: true,
 			Profile: paths[app.Name], TargetGIPS: targets[app.Name],
 			Seed: seed + int64(i), RunForS: 60, Engine: engine,
-		})
+		}
+		if telemetry {
+			cfg.Cohort = cohorts[i%len(cohorts)]
+			if cfg.Cohort == "game" {
+				cfg.StormPeriodS, cfg.StormBurstS = 20, 5
+			}
+		}
+		v, err := m.Submit(cfg)
 		if err != nil {
 			return sc, err
 		}
@@ -416,6 +483,10 @@ func runFleetOnce(n int, apps []*workload.Spec, tables map[string]*profile.Table
 		}
 	}
 	wall := time.Since(wall0).Seconds()
+	if telemetry {
+		close(stopObs)
+		obsDone.Wait()
+	}
 	runtime.ReadMemStats(&m1)
 	if err := m.Drain(ctx); err != nil {
 		return sc, err

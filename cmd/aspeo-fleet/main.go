@@ -63,9 +63,14 @@ func main() {
 		maxStreams   = flag.Int("max-streams", 0, "max concurrent NDJSON status streams, excess shed with 429 (0 = 64)")
 		reqTimeout   = flag.Duration("request-timeout", 0, "per-request deadline for non-streaming endpoints (0 = 30s)")
 		scenPath     = flag.String("scenario", "", "compile this scenario spec (see aspeo-gen) and submit its generated population at startup")
+		oneshot      = flag.Bool("oneshot", false, "batch mode: run the -scenario population to completion without serving HTTP, print the rollup, evaluate the spec's assertions, and exit non-zero on failure")
 		enablePprof  = flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
 	)
 	flag.Parse()
+
+	if *oneshot && *scenPath == "" {
+		usageError("-oneshot requires -scenario")
+	}
 
 	// Validate the durability directories up front: an unwritable dump or
 	// checkpoint directory discovered mid-flight would silently cost the
@@ -104,6 +109,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "aspeo-fleet: restored %d checkpointed sessions\n", len(views))
 	}
+	var spec *scenario.Spec
 	if *scenPath != "" {
 		// The scenario is startup configuration: a spec that does not
 		// load, compile, or fit the queue is a usage error found before
@@ -121,6 +127,20 @@ func main() {
 			fatal("-scenario %s: %d of %d sessions accepted: %v", *scenPath, len(views), len(g.Sessions), err)
 		}
 		fmt.Fprintf(os.Stderr, "aspeo-fleet: scenario %s: %d sessions submitted\n", g.Name, len(views))
+		spec = sc
+	}
+	if *oneshot {
+		// Batch mode: no HTTP surface — wait for every session to land,
+		// print the rollup, and gate the exit status on the scenario's
+		// assertions. Ctrl-C stops the remaining sessions cooperatively.
+		ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+		defer cancel()
+		if err := m.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "aspeo-fleet: interrupted, sessions stopped cooperatively (%v)\n", err)
+		}
+		r := m.Rollup()
+		report.Fleet(os.Stderr, r)
+		os.Exit(evaluateAssertions(spec, r))
 	}
 	handler := fleet.NewServer(m)
 	if *enablePprof {
@@ -170,13 +190,37 @@ func main() {
 	if err := m.Drain(dctx); err != nil {
 		fmt.Fprintf(os.Stderr, "aspeo-fleet: drain timed out, sessions stopped cooperatively (%v)\n", err)
 	}
-	report.Fleet(os.Stderr, m.Rollup())
+	r := m.Rollup()
+	report.Fleet(os.Stderr, r)
 
 	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer scancel()
 	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal("shutdown: %v", err)
 	}
+	// A scenario's assertions gate the exit status on the drain path
+	// too, so a supervised fleet fed a spec reports pass/fail the same
+	// way the -oneshot batch invocation does.
+	os.Exit(evaluateAssertions(spec, r))
+}
+
+// evaluateAssertions checks the scenario spec's assertions (if any)
+// against the final rollup's telemetry and reports each failure with
+// its field path. Returns the process exit code: 0 when every
+// assertion holds or there is nothing to check, 1 otherwise.
+func evaluateAssertions(spec *scenario.Spec, r report.FleetRollup) int {
+	if spec == nil || len(spec.Assertions) == 0 {
+		return 0
+	}
+	errs := spec.Evaluate(r.Telemetry)
+	for _, err := range errs {
+		fmt.Fprintf(os.Stderr, "aspeo-fleet: assertion failed: %v\n", err)
+	}
+	if len(errs) > 0 {
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "aspeo-fleet: scenario %s: %d assertions passed\n", spec.Name, len(spec.Assertions))
+	return 0
 }
 
 func fatal(format string, args ...any) {

@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -32,9 +33,11 @@ import (
 	"time"
 
 	"aspeo/internal/ckpt"
+	"aspeo/internal/core"
 	"aspeo/internal/experiment"
 	"aspeo/internal/governor"
 	"aspeo/internal/obs"
+	"aspeo/internal/obs/pipeline"
 	"aspeo/internal/report"
 	"aspeo/internal/scenario"
 	"aspeo/internal/sim"
@@ -129,6 +132,11 @@ func main() {
 	}
 
 	var spec experiment.SessionSpec
+	var (
+		scSpec *scenario.Spec
+		scSess *scenario.Session
+		pipe   *pipeline.Pipeline
+	)
 	if *scenPath != "" {
 		// Scenario mode: the generated session defines the workload and
 		// run conditions; only the observation flags (-record, -trace,
@@ -155,6 +163,31 @@ func main() {
 		spec = gs.SessionSpec()
 		fmt.Fprintf(os.Stderr, "aspeo-run: scenario %s session %d: %s (cohort %s, load %s, arrival t=%.1fs)\n",
 			g.Name, gs.Index, gs.App.Name, gs.Cohort, gs.Load, gs.ArrivalS)
+		if len(sc.Assertions) > 0 {
+			// The spec's assertions apply to this single session the
+			// same way the fleet applies them to the population: a
+			// 1-worker telemetry pipeline fed from the cycle hook and
+			// the final summary, evaluated against its rollup.
+			scSpec, scSess = sc, gs
+			pipe = pipeline.New(pipeline.Options{Workers: 1})
+			cohortID := pipe.CohortID(gs.Cohort)
+			pipe.ObserveArrival(0, cohortID, gs.ArrivalS)
+			arrival := gs.ArrivalS
+			stormP, stormB := gs.StormPeriodS, gs.StormBurstS
+			spec.OnCycle = func(cs core.CycleSnapshot) {
+				rec := pipeline.CycleRecord{
+					Cohort:       cohortID,
+					T:            arrival + cs.At.Seconds(),
+					MeasuredGIPS: cs.MeasuredGIPS,
+					TargetGIPS:   cs.TargetGIPS,
+					PowerW:       cs.PowerW,
+				}
+				if stormP > 0 {
+					rec.Storm = math.Mod(cs.At.Seconds(), stormP) < stormB
+				}
+				pipe.ObserveCycle(0, &rec)
+			}
+		}
 	} else {
 		spec = experiment.SessionSpec{
 			App: *app, Load: *load, Governor: *gov,
@@ -271,6 +304,29 @@ func main() {
 		} else {
 			fmt.Fprintln(os.Stderr, "aspeo-run: no escalation; flight recorder not dumped")
 		}
+	}
+	if pipe != nil {
+		fin := pipeline.FinalRecord{
+			Cohort:       pipe.CohortID(scSess.Cohort),
+			HasSummary:   true,
+			Controller:   summary.Controller != nil,
+			DurationS:    summary.DurationS,
+			EnergyJ:      summary.EnergyJ,
+			DroppedInstr: summary.DroppedInstr,
+			GIPS:         summary.GIPS,
+		}
+		if c := summary.Controller; c != nil {
+			fin.MeanAbsErrGIPS = c.MeanAbsErrGIPS
+		}
+		pipe.ObserveFinal(0, &fin)
+		errs := scSpec.Evaluate(pipe.Rollup())
+		for _, err := range errs {
+			fmt.Fprintf(os.Stderr, "aspeo-run: assertion failed: %v\n", err)
+		}
+		if len(errs) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "aspeo-run: scenario %s: %d assertions passed\n", scSpec.Name, len(scSpec.Assertions))
 	}
 }
 

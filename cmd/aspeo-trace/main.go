@@ -16,11 +16,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"aspeo/internal/obs"
+	"aspeo/internal/obs/pipeline"
 )
 
 func main() {
@@ -35,6 +37,8 @@ func main() {
 		cmdShow(os.Args[2:])
 	case "diff":
 		cmdDiff(os.Args[2:])
+	case "rollup":
+		cmdRollup(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -49,6 +53,7 @@ func usage() {
   aspeo-trace summary <trace.ndjson>                 condensed trace overview
   aspeo-trace show <trace.ndjson> [-stage s] [-cycle n]   print matching spans
   aspeo-trace diff <a.ndjson> <b.ndjson>             first divergent cycle + deltas
+  aspeo-trace rollup <telemetry.ndjson> [-json] [-window s]   replay a captured fleet telemetry stream
 `)
 }
 
@@ -116,6 +121,43 @@ func cmdDiff(args []string) {
 		fmt.Printf("  %s\n", d)
 	}
 	os.Exit(1)
+}
+
+// cmdRollup replays a captured fleet telemetry stream — the NDJSON
+// batches saved from GET /api/v1/telemetry — through the same fold and
+// analyzer code the live pipeline runs, and renders the resulting
+// rollup as the per-cohort distribution table (or raw JSON with -json).
+// The replay is offline proof of the stream's fidelity: aggregating a
+// losslessly captured stream reproduces the live fleet's rollup.
+func cmdRollup(args []string) {
+	fs := flag.NewFlagSet("rollup", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the rollup as JSON instead of the table")
+	window := fs.Float64("window", 0, "analyzer window in simulated seconds (0 = pipeline default)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal("rollup wants exactly one telemetry stream file")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	batches, err := pipeline.ReadNDJSON(f)
+	if err != nil {
+		fatal("%s: %v", fs.Arg(0), err)
+	}
+	r := pipeline.Aggregate(batches, pipeline.Options{WindowS: *window})
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+	fmt.Printf("telemetry: %d batches, %d cycles, %d sessions finished\n\n",
+		len(batches), r.Cycles, r.Totals.Finished)
+	pipeline.WriteTable(os.Stdout, r)
 }
 
 func fatal(format string, args ...any) {

@@ -109,6 +109,7 @@ func (m *Manager) resubmit(meta checkpointMeta, cell *experiment.CellState) (Ses
 		id:          meta.ID,
 		seq:         meta.Seq,
 		cfg:         cfg,
+		cohortID:    m.pipe.CohortID(cfg.Cohort),
 		state:       StatePending,
 		submittedAt: time.Now(),
 		done:        make(chan struct{}),
@@ -125,13 +126,18 @@ func (m *Manager) resubmit(meta checkpointMeta, cell *experiment.CellState) (Ses
 	sh.m[s.id] = s
 	sh.mu.Unlock()
 
-	if err := m.pool.Submit(func() { m.runSession(s) }); err != nil {
+	if err := m.pool.SubmitIndexed(func(worker int) { m.runSession(worker, s) }); err != nil {
 		sh.mu.Lock()
 		delete(sh.m, s.id)
 		sh.mu.Unlock()
 		return SessionView{}, err
 	}
 	m.submitted.Add(1)
+	m.stPending.Add(1)
+	// The restored session re-arrives in this process's pipeline: the
+	// pre-crash pipeline state died with the process, so the arrival is
+	// counted anew here.
+	m.pipe.ObserveArrival(int(meta.Seq), s.cohortID, cfg.ArrivalS)
 	return s.view(), nil
 }
 

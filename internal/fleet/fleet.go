@@ -38,6 +38,7 @@ import (
 	"aspeo/internal/experiment"
 	"aspeo/internal/fault"
 	"aspeo/internal/obs"
+	"aspeo/internal/obs/pipeline"
 	"aspeo/internal/par"
 	"aspeo/internal/platform"
 	"aspeo/internal/report"
@@ -67,6 +68,19 @@ func (s State) Terminal() bool {
 // governor interactive, no restarts.
 type Config struct {
 	App string `json:"app"`
+	// Cohort labels the session in telemetry rollups (scenario cohort
+	// name; empty rolls up under "default").
+	Cohort string `json:"cohort,omitempty"`
+	// ArrivalS is the session's scenario arrival time in seconds — the
+	// telemetry pipeline's time base (cycle records land in analyzer
+	// windows at ArrivalS + simulated time). Hand-submitted sessions
+	// leave it 0.
+	ArrivalS float64 `json:"arrival_s,omitempty"`
+	// StormPeriodS/StormBurstS describe the cohort's ad-storm phase so
+	// cycle records can be tagged storm-active: a cycle at simulated
+	// time t is in a storm when mod(t, period) < burst. 0 disables.
+	StormPeriodS float64 `json:"storm_period_s,omitempty"`
+	StormBurstS  float64 `json:"storm_burst_s,omitempty"`
 	// Workload is an inline application definition — a generated
 	// scenario workload (chain, perturbation, trace import) that has no
 	// library name. App must be empty or match Workload.Name. The spec
@@ -185,6 +199,13 @@ type Options struct {
 	// stalls, checkpoint-write failures — for the chaos tests. The zero
 	// value injects nothing.
 	Chaos fault.ProcessPlan
+
+	// Telemetry pipeline knobs (zero selects the pipeline defaults):
+	// the analyzer window in scenario seconds, the per-worker ring
+	// capacity, and the brownout trigger fraction.
+	TelemetryWindowS  float64
+	TelemetryRingCap  int
+	BrownoutThreshold float64
 }
 
 // Defaults for the zero-valued knobs above.
@@ -239,16 +260,28 @@ type Manager struct {
 	ckptDone  atomic.Int64 // checkpoints written durably
 	draining  atomic.Bool
 
+	// Lifecycle population counters, maintained at every transition so
+	// Rollup never walks the session store (the scrape path takes no
+	// session locks).
+	stPending   atomic.Int64
+	stRunning   atomic.Int64
+	stCompleted atomic.Int64
+	stFailed    atomic.Int64
+	stStopped   atomic.Int64
+
 	ckptFS    ckpt.FS
 	streamSem chan struct{} // bounds concurrent NDJSON streams
 
 	agg aggregator
 
+	// pipe is the fleet's telemetry pipeline: per-worker rings the
+	// session hot path pushes cycle records into, sharded commutative
+	// aggregation, and the epoch snapshots the scrape paths serve from.
+	pipe *pipeline.Pipeline
+
 	// reg is the manager's long-lived metrics registry: rollup families
-	// refreshed at scrape time plus live instruments fed from session
-	// telemetry (the measured-GIPS histogram below).
+	// refreshed at scrape time from the pipeline's epoch snapshot.
 	reg       *obs.Registry
-	gipsHist  obs.Histogram
 	cPanics   obs.CounterVec // aspeo_fleet_panics_recovered_total{boundary}
 	cCkpt     obs.Counter    // aspeo_fleet_checkpoints_written_total
 	cCkptFail obs.Counter    // aspeo_fleet_checkpoint_failures_total
@@ -272,10 +305,20 @@ func NewManager(o Options) *Manager {
 		m.ckptFS = ckpt.OS{}
 	}
 	m.streamSem = make(chan struct{}, o.maxStreams())
+	m.pipe = pipeline.New(pipeline.Options{
+		Workers:           m.pool.NumWorkers(),
+		RingCap:           o.TelemetryRingCap,
+		WindowS:           o.TelemetryWindowS,
+		BrownoutThreshold: o.BrownoutThreshold,
+	})
 	m.reg = obs.NewRegistry()
-	m.gipsHist = m.reg.Histogram("aspeo_fleet_measured_gips",
+	// Registered up front so the family exists on the first scrape; its
+	// contents are loaded from the pipeline's epoch snapshot at scrape
+	// time (report.RollupMetrics), never observed on the session hot
+	// path.
+	m.reg.Histogram("aspeo_fleet_measured_gips",
 		"Per-cycle measured performance across all controller sessions.",
-		[]float64{0.25, 0.5, 1, 2, 4, 8, 16, 32})
+		pipeline.GIPSBounds)
 	m.cPanics = m.reg.CounterVec("aspeo_fleet_panics_recovered_total",
 		"Panics recovered at containment boundaries.", "boundary")
 	m.cCkpt = m.reg.Counter("aspeo_fleet_checkpoints_written_total",
@@ -291,6 +334,11 @@ func NewManager(o Options) *Manager {
 // refreshes the rollup families onto it (report.RollupMetrics) and
 // renders it; callers may register additional process-level instruments.
 func (m *Manager) Registry() *obs.Registry { return m.reg }
+
+// Telemetry returns the fleet's telemetry pipeline — the epoch-snapshot
+// and NDJSON-stream surface (aspeo-fleet's /api/v1/telemetry, scenario
+// assertion evaluation).
+func (m *Manager) Telemetry() *pipeline.Pipeline { return m.pipe }
 
 // Errors the control plane maps to HTTP statuses.
 var (
@@ -315,6 +363,7 @@ func (m *Manager) Submit(cfg Config) (SessionView, error) {
 		id:          fmt.Sprintf("s-%06d", seq),
 		seq:         seq,
 		cfg:         cfg,
+		cohortID:    m.pipe.CohortID(cfg.Cohort),
 		state:       StatePending,
 		submittedAt: time.Now(),
 		done:        make(chan struct{}),
@@ -324,13 +373,17 @@ func (m *Manager) Submit(cfg Config) (SessionView, error) {
 	sh.m[s.id] = s
 	sh.mu.Unlock()
 
-	if err := m.pool.Submit(func() { m.runSession(s) }); err != nil {
+	if err := m.pool.SubmitIndexed(func(worker int) { m.runSession(worker, s) }); err != nil {
 		sh.mu.Lock()
 		delete(sh.m, s.id)
 		sh.mu.Unlock()
 		return SessionView{}, err
 	}
 	m.submitted.Add(1)
+	m.stPending.Add(1)
+	// Arrival partition is free to use any shard — arrivals are integer
+	// counts, so the merged rollup is identical either way.
+	m.pipe.ObserveArrival(int(seq), s.cohortID, cfg.ArrivalS)
 	return s.view(), nil
 }
 
@@ -468,63 +521,45 @@ func (m *Manager) Drain(ctx context.Context) error {
 func (m *Manager) Draining() bool { return m.draining.Load() }
 
 // Rollup folds the fleet into one aggregate: population by state, cycle
-// throughput, and the summed energy/performance/health figures.
+// throughput, and the pipeline's merged telemetry. It never takes a
+// session lock — lifecycle populations come from the transition
+// counters, everything else from the pipeline's epoch rollup — so
+// scraping a large fleet under load contends only on the shard mutexes
+// for the drain, never with a running session's status record.
 func (m *Manager) Rollup() report.FleetRollup {
+	t := m.pipe.Rollup()
 	r := report.FleetRollup{
+		Pending:            int(m.stPending.Load()),
+		Running:            int(m.stRunning.Load()),
+		Completed:          int(m.stCompleted.Load()),
+		Failed:             int(m.stFailed.Load()),
+		Stopped:            int(m.stStopped.Load()),
 		Submitted:          int(m.submitted.Load()),
 		Restarts:           int(m.restarts.Load()),
 		PanicsRecovered:    int(m.panics.Load()),
 		CheckpointsWritten: int(m.ckptDone.Load()),
+		SimSecondsTotal:    t.Totals.SimSeconds,
+		EnergyJTotal:       t.Totals.EnergyJ,
+		DroppedInstrTotal:  t.Totals.DroppedInstr,
+		MeanGIPS:           t.Totals.MeanGIPS,
+		MeanAbsErrGIPS:     t.Totals.MeanAbsErrGIPS,
+		Relinquished:       int(t.Health.Relinquished),
+		Telemetry:          t,
 	}
-	var gipsSum, errSum float64
-	var finished, ctlFinished int
-	for i := range m.shards {
-		sh := &m.shards[i]
-		sh.mu.RLock()
-		for _, s := range sh.m {
-			s.mu.Lock()
-			switch s.state {
-			case StatePending:
-				r.Pending++
-			case StateRunning:
-				r.Running++
-			case StateCompleted:
-				r.Completed++
-			case StateFailed:
-				r.Failed++
-			case StateStopped:
-				r.Stopped++
-			}
-			var h *platform.Health
-			if s.summary != nil && s.state.Terminal() {
-				finished++
-				r.SimSecondsTotal += s.summary.DurationS
-				r.EnergyJTotal += s.summary.EnergyJ
-				r.DroppedInstrTotal += s.summary.DroppedInstr
-				gipsSum += s.summary.GIPS
-				if cs := s.summary.Controller; cs != nil {
-					ctlFinished++
-					errSum += cs.MeanAbsErrGIPS
-					h = &cs.Health
-				}
-			} else if s.lastSnap != nil {
-				h = &s.lastSnap.Health
-			}
-			if h != nil {
-				r.Health.Add(*h)
-				if h.Relinquished {
-					r.Relinquished++
-				}
-			}
-			s.mu.Unlock()
-		}
-		sh.mu.RUnlock()
-	}
-	if finished > 0 {
-		r.MeanGIPS = gipsSum / float64(finished)
-	}
-	if ctlFinished > 0 {
-		r.MeanAbsErrGIPS = errSum / float64(ctlFinished)
+	r.Health = platform.Health{
+		ActuationFailures:   int(t.Health.ActuationFailures),
+		ActuationRetries:    int(t.Health.ActuationRetries),
+		GovernorReinstalls:  int(t.Health.GovernorReinstalls),
+		MaxFreqRestores:     int(t.Health.MaxFreqRestores),
+		RejectedSamples:     int(t.Health.RejectedSamples),
+		NonFiniteSamples:    int(t.Health.NonFiniteSamples),
+		StuckSamples:        int(t.Health.StuckSamples),
+		OutlierSamples:      int(t.Health.OutlierSamples),
+		DegradedCycles:      int(t.Health.DegradedCycles),
+		WatchdogTrips:       int(t.Health.WatchdogTrips),
+		ConsecutiveFailures: int(t.Health.ConsecutiveFailures),
+		Relinquished:        t.Health.Relinquished > 0,
+		LastTransition:      t.Health.LastTransition,
 	}
 	r.CyclesTotal, r.CyclesPerSec = m.agg.rate()
 	return r

@@ -26,6 +26,7 @@ import (
 //	GET  /api/v1/sessions/{id}/stream  NDJSON live status
 //	GET  /api/v1/sessions/{id}/trace   NDJSON flight-recorder snapshot
 //	GET  /api/v1/rollup              fleet-wide rollup (JSON)
+//	GET  /api/v1/telemetry           NDJSON batched telemetry stream
 //	POST /api/v1/drain               stop intake, wait for the fleet
 //	GET  /metrics                    Prometheus text exposition
 //	GET  /healthz                    liveness
@@ -73,6 +74,9 @@ func NewServer(m *Manager) http.Handler {
 	}))
 	mux.HandleFunc("GET /api/v1/sessions/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
 		handleStream(m, w, r)
+	})
+	mux.HandleFunc("GET /api/v1/telemetry", func(w http.ResponseWriter, r *http.Request) {
+		handleTelemetry(m, w, r)
 	})
 	mux.Handle("GET /api/v1/sessions/{id}/trace", timed(func(w http.ResponseWriter, r *http.Request) {
 		spans, err := m.TraceSnapshot(r.PathValue("id"))
@@ -320,6 +324,73 @@ func handleStream(m *Manager, w http.ResponseWriter, r *http.Request) {
 		case <-ticker.C:
 			if !emit() {
 				return
+			}
+		}
+	}
+}
+
+// handleTelemetry streams the fleet's raw telemetry as NDJSON — one
+// pipeline.StreamBatch per line, each holding the arrivals, cycle
+// records and finals folded since the previous epoch advance. The
+// capture is best-effort by contract (batches are dropped, counted,
+// when the client lags) but loss-free in practice at any sane interval;
+// the file a client saves replays offline into the exact live rollup
+// via `aspeo-trace rollup`.
+func handleTelemetry(m *Manager, w http.ResponseWriter, r *http.Request) {
+	// Telemetry streams share the session-stream semaphore: both hold a
+	// connection and a goroutine indefinitely, so they share the bound.
+	select {
+	case m.streamSem <- struct{}{}:
+		defer func() { <-m.streamSem }()
+	default:
+		m.cShed.With("max_streams").Inc()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests,
+			errorBody(fmt.Errorf("too many concurrent streams (max %d)", m.opts.maxStreams())))
+		return
+	}
+	rc := http.NewResponseController(w)
+	_ = rc.SetReadDeadline(time.Time{})
+	interval := 500 * time.Millisecond
+	if q := r.URL.Query().Get("interval_ms"); q != "" {
+		ms, err := strconv.Atoi(q)
+		if err != nil || ms < 20 {
+			writeJSON(w, http.StatusBadRequest, errorBody(fmt.Errorf("interval_ms %q: want an integer >= 20", q)))
+			return
+		}
+		interval = time.Duration(ms) * time.Millisecond
+	}
+	ch, cancel := m.pipe.Subscribe(64)
+	defer cancel()
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+
+	enc := json.NewEncoder(w)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+			// Advancing the epoch publishes everything folded since the
+			// last advance to every subscriber; scrape-triggered rollups
+			// land on the channel between ticks and drain here too.
+			m.pipe.Advance()
+			_ = rc.SetWriteDeadline(time.Now().Add(m.opts.requestTimeout()))
+			for draining := true; draining; {
+				select {
+				case b := <-ch:
+					if err := enc.Encode(b); err != nil {
+						return
+					}
+				default:
+					draining = false
+				}
+			}
+			if flusher != nil {
+				flusher.Flush()
 			}
 		}
 	}

@@ -13,12 +13,17 @@ import (
 func ConfigFromSession(g *scenario.Session) Config {
 	return Config{
 		App:             g.App.Name,
+		Cohort:          g.Cohort,
+		ArrivalS:        g.ArrivalS,
+		StormPeriodS:    g.StormPeriodS,
+		StormBurstS:     g.StormBurstS,
 		Workload:        g.App,
 		ExtraBackground: g.ExtraBackground,
 		Load:            g.Load,
 		Governor:        g.Governor,
 		Controller:      g.Controller,
 		CPUOnly:         g.CPUOnly,
+		TargetGIPS:      g.TargetGIPS,
 		Quick:           g.Quick,
 		Seed:            g.Seed,
 		Engine:          g.Engine,

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sync"
@@ -12,6 +13,8 @@ import (
 	"aspeo/internal/core"
 	"aspeo/internal/experiment"
 	"aspeo/internal/obs"
+	"aspeo/internal/obs/pipeline"
+	"aspeo/internal/platform"
 	"aspeo/internal/report"
 )
 
@@ -32,6 +35,17 @@ type session struct {
 	cfg  Config
 	stop atomic.Bool
 
+	// cohortID is the telemetry pipeline's interned cohort, captured at
+	// submit so the hot path never touches the intern table.
+	cohortID uint32
+	// healthResid accumulates the ladder deltas each attempt's final
+	// summary carried beyond its last observed cycle; the worker
+	// goroutine owns it and the session's final record reports it.
+	healthResid pipeline.HealthDelta
+	// lastSnap is the most recent cycle snapshot, published lock-free
+	// from the cycle hot path and read by views.
+	lastSnap atomic.Pointer[core.CycleSnapshot]
+
 	// Restore-on-start: a session resubmitted from a checkpoint resumes
 	// from this snapshot on its first attempt. baseAttempt is the
 	// attempt ordinal the snapshot was taken under — the restored
@@ -49,7 +63,6 @@ type session struct {
 	submittedAt time.Time
 	startedAt   time.Time
 	finishedAt  time.Time
-	lastSnap    *core.CycleSnapshot
 	summary     *report.RunSummary
 	allocLog    []core.AllocationRecord
 	flight      *obs.Recorder // current attempt's flight recorder
@@ -101,9 +114,9 @@ func (s *session) view() SessionView {
 		t := s.finishedAt
 		v.FinishedAt = &t
 	}
-	if s.lastSnap != nil {
-		snap := *s.lastSnap
-		v.LastCycle = &snap
+	if snap := s.lastSnap.Load(); snap != nil {
+		c := *snap
+		v.LastCycle = &c
 	}
 	if s.summary != nil {
 		sum := *s.summary
@@ -118,33 +131,42 @@ func (v SessionView) Terminal() bool { return v.State.Terminal() }
 // runSession is the worker-side lifecycle: pending → running → one or
 // more attempts → terminal state. It owns the simulation cell for the
 // session's whole life; everything it shares with readers goes through
-// the session mutex.
-func (m *Manager) runSession(s *session) {
-	if s.stop.Load() {
-		s.finish(StateStopped, "stopped before start")
+// the session mutex. worker is the pool worker index running it — the
+// session's telemetry shard for its whole life.
+func (m *Manager) runSession(worker int, s *session) {
+	// land folds the session's final telemetry record (before done
+	// closes, so a rollup taken after WaitSession always includes it),
+	// maintains the lifecycle population counters, and finishes.
+	land := func(state State, errMsg string, from *atomic.Int64, to *atomic.Int64) {
+		m.foldFinal(worker, s)
+		from.Add(-1)
+		to.Add(1)
+		s.finish(state, errMsg)
 		m.removeCheckpoint(s.id)
+	}
+	if s.stop.Load() {
+		land(StateStopped, "stopped before start", &m.stPending, &m.stStopped)
 		return
 	}
+	m.stPending.Add(-1)
+	m.stRunning.Add(1)
 	s.mu.Lock()
 	s.state = StateRunning
 	s.startedAt = time.Now()
 	s.mu.Unlock()
 
 	for attempt := s.baseAttempt; ; attempt++ {
-		failure := m.runAttempt(s, attempt)
+		failure := m.runAttempt(worker, s, attempt)
 		if s.stop.Load() {
-			s.finish(StateStopped, "")
-			m.removeCheckpoint(s.id)
+			land(StateStopped, "", &m.stRunning, &m.stStopped)
 			return
 		}
 		if failure == "" {
-			s.finish(StateCompleted, "")
-			m.removeCheckpoint(s.id)
+			land(StateCompleted, "", &m.stRunning, &m.stCompleted)
 			return
 		}
 		if attempt >= s.cfg.MaxRestarts {
-			s.finish(StateFailed, failure)
-			m.removeCheckpoint(s.id)
+			land(StateFailed, failure, &m.stRunning, &m.stFailed)
 			return
 		}
 		m.restarts.Add(1)
@@ -155,6 +177,71 @@ func (m *Manager) runSession(s *session) {
 	}
 }
 
+// foldFinal reports the session's terminal record to the telemetry
+// pipeline: the run totals when a summary exists, plus the residual
+// health deltas the cycle stream did not cover.
+func (m *Manager) foldFinal(worker int, s *session) {
+	fin := pipeline.FinalRecord{
+		Session: s.seq,
+		Cohort:  s.cohortID,
+		Health:  s.healthResid,
+	}
+	s.mu.Lock()
+	sum := s.summary
+	s.mu.Unlock()
+	if sum != nil {
+		fin.HasSummary = true
+		fin.DurationS = sum.DurationS
+		fin.EnergyJ = sum.EnergyJ
+		fin.DroppedInstr = sum.DroppedInstr
+		fin.GIPS = sum.GIPS
+		if c := sum.Controller; c != nil {
+			fin.Controller = true
+			fin.MeanAbsErrGIPS = c.MeanAbsErrGIPS
+			fin.Relinquished = c.Health.Relinquished
+			fin.LastTransition = c.Health.LastTransition
+		}
+	}
+	m.pipe.ObserveFinal(worker, &fin)
+}
+
+// healthDelta computes the per-record ladder delta between two ledgers
+// and advances prev. Counters difference exactly; ConsecutiveFailures
+// is a level, not a counter, and its deltas (which may be negative)
+// reconstruct the sum of last-seen levels when aggregated.
+func healthDelta(prev *platform.Health, cur *platform.Health) pipeline.HealthDelta {
+	d := pipeline.HealthDelta{
+		ActuationFailures:   int32(cur.ActuationFailures - prev.ActuationFailures),
+		ActuationRetries:    int32(cur.ActuationRetries - prev.ActuationRetries),
+		GovernorReinstalls:  int32(cur.GovernorReinstalls - prev.GovernorReinstalls),
+		MaxFreqRestores:     int32(cur.MaxFreqRestores - prev.MaxFreqRestores),
+		RejectedSamples:     int32(cur.RejectedSamples - prev.RejectedSamples),
+		NonFiniteSamples:    int32(cur.NonFiniteSamples - prev.NonFiniteSamples),
+		StuckSamples:        int32(cur.StuckSamples - prev.StuckSamples),
+		OutlierSamples:      int32(cur.OutlierSamples - prev.OutlierSamples),
+		DegradedCycles:      int32(cur.DegradedCycles - prev.DegradedCycles),
+		WatchdogTrips:       int32(cur.WatchdogTrips - prev.WatchdogTrips),
+		ConsecutiveFailures: int32(cur.ConsecutiveFailures - prev.ConsecutiveFailures),
+	}
+	*prev = *cur
+	return d
+}
+
+// addHealthDelta accumulates d into acc.
+func addHealthDelta(acc *pipeline.HealthDelta, d pipeline.HealthDelta) {
+	acc.ActuationFailures += d.ActuationFailures
+	acc.ActuationRetries += d.ActuationRetries
+	acc.GovernorReinstalls += d.GovernorReinstalls
+	acc.MaxFreqRestores += d.MaxFreqRestores
+	acc.RejectedSamples += d.RejectedSamples
+	acc.NonFiniteSamples += d.NonFiniteSamples
+	acc.StuckSamples += d.StuckSamples
+	acc.OutlierSamples += d.OutlierSamples
+	acc.DegradedCycles += d.DegradedCycles
+	acc.WatchdogTrips += d.WatchdogTrips
+	acc.ConsecutiveFailures += d.ConsecutiveFailures
+}
+
 // runAttempt builds and runs one cell. It returns "" on success or a
 // failure description: a construction error, a run that died, a worker
 // panic (contained here — the deferred recover converts it into an
@@ -162,7 +249,7 @@ func (m *Manager) runSession(s *session) {
 // that relinquished the device — the resilience ladder's terminal rung,
 // which the fleet treats as session failure (the controller-managed run
 // it was asked for did not survive).
-func (m *Manager) runAttempt(s *session, attempt int) (failure string) {
+func (m *Manager) runAttempt(worker int, s *session, attempt int) (failure string) {
 	var rec *obs.Recorder
 	defer func() {
 		if r := recover(); r != nil {
@@ -179,12 +266,32 @@ func (m *Manager) runAttempt(s *session, attempt int) (failure string) {
 	}()
 
 	spec := s.cfg.spec(s.cfg.Seed + int64(attempt)*restartSeedStride)
+	// The cycle hook is the fleet's telemetry hot path: one compact
+	// record into this worker's ring (lock-free, allocation-free in the
+	// steady state) and a lock-free snapshot publish. prevHealth turns
+	// the cumulative ladder ledger into per-cycle deltas so shard sums
+	// commute; it is worker-local state, one goroutine only.
+	var prevHealth platform.Health
+	cohort, arrival := s.cohortID, s.cfg.ArrivalS
+	stormP, stormB := s.cfg.StormPeriodS, s.cfg.StormBurstS
 	spec.OnCycle = func(cs core.CycleSnapshot) {
 		m.agg.observeCycle()
-		m.gipsHist.Observe(cs.MeasuredGIPS)
-		s.mu.Lock()
-		s.lastSnap = &cs
-		s.mu.Unlock()
+		at := cs.At.Seconds()
+		rec := pipeline.CycleRecord{
+			Session:      s.seq,
+			Cohort:       cohort,
+			T:            arrival + at,
+			MeasuredGIPS: cs.MeasuredGIPS,
+			TargetGIPS:   cs.TargetGIPS,
+			PowerW:       cs.PowerW,
+			Health:       healthDelta(&prevHealth, &cs.Health),
+		}
+		if stormP > 0 {
+			rec.Storm = math.Mod(at, stormP) < stormB
+		}
+		m.pipe.ObserveCycle(worker, &rec)
+		snap := cs
+		s.lastSnap.Store(&snap)
 	}
 	if chaos := m.opts.Chaos; !chaos.Zero() {
 		inner := spec.OnCycle
@@ -238,6 +345,12 @@ func (m *Manager) runAttempt(s *session, attempt int) (failure string) {
 	}
 	st := sess.Run(s.stop.Load)
 	sum := report.NewRunSummary(sess, st)
+	if c := sum.Controller; c != nil {
+		// Ladder activity between the last observed cycle and the final
+		// ledger rides on the session's final record, so aggregate health
+		// is exact — cumulative across every attempt.
+		addHealthDelta(&s.healthResid, healthDelta(&prevHealth, &c.Health))
+	}
 
 	s.mu.Lock()
 	s.summary = &sum

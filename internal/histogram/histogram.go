@@ -190,6 +190,58 @@ func (d *Dist) Total() uint64 { return d.n }
 // Sum returns the sum of all observed values.
 func (d *Dist) Sum() float64 { return d.sum }
 
+// Counts returns a copy of the raw per-bucket counts, length
+// len(Bounds())+1 with the +Inf overflow bucket last. Together with
+// Bounds and Sum this is a Dist's complete serializable state.
+func (d *Dist) Counts() []uint64 {
+	out := make([]uint64, len(d.counts))
+	copy(out, d.counts)
+	return out
+}
+
+// Merge folds another distribution into d. The two must share identical
+// bounds — merging histograms over different buckets has no meaning and
+// errors rather than guessing. Bucket counts and the observation count
+// add exactly (integers); the sums add as float64, so Merge is
+// commutative and associative whenever the sums are (exactly, when
+// every observation was quantized — see obs/pipeline — and within one
+// ULP otherwise).
+func (d *Dist) Merge(o *Dist) error {
+	if len(d.bounds) != len(o.bounds) {
+		return fmt.Errorf("histogram: merging Dist with %d bounds into %d", len(o.bounds), len(d.bounds))
+	}
+	for i := range d.bounds {
+		if d.bounds[i] != o.bounds[i] {
+			return fmt.Errorf("histogram: merging Dist with bound[%d]=%v into %v", i, o.bounds[i], d.bounds[i])
+		}
+	}
+	for i := range d.counts {
+		d.counts[i] += o.counts[i]
+	}
+	d.sum += o.sum
+	d.n += o.n
+	return nil
+}
+
+// SetCounts overwrites the distribution's state from a snapshot: raw
+// per-bucket counts (length len(Bounds())+1, overflow last) and the
+// value sum. The observation count is the counts' total. It is the
+// scrape-time refresh primitive — an obs.Histogram loads an externally
+// aggregated pipeline distribution the way Counter.Set loads a total.
+func (d *Dist) SetCounts(counts []uint64, sum float64) error {
+	if len(counts) != len(d.counts) {
+		return fmt.Errorf("histogram: SetCounts with %d buckets, want %d", len(counts), len(d.counts))
+	}
+	var n uint64
+	for i, c := range counts {
+		d.counts[i] = c
+		n += c
+	}
+	d.sum = sum
+	d.n = n
+	return nil
+}
+
 // Render draws the histogram as ASCII art, one row per ladder index
 // (1-based labels, like the paper's figures).
 func (r *Residency) Render(width int) string {

@@ -1,0 +1,100 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTable renders a rollup as a fixed-width text report: the
+// population totals, a per-cohort distribution table, and the analyzer
+// sections. Shared by `aspeo-trace rollup` (offline NDJSON replay) and
+// the fleet's shutdown report.
+func WriteTable(w io.Writer, r *Rollup) {
+	if r == nil {
+		fmt.Fprintln(w, "telemetry: no rollup")
+		return
+	}
+	fmt.Fprintf(w, "telemetry rollup (epoch %d, window %gs)\n", r.Epoch, r.WindowS)
+	fmt.Fprintf(w, "  sessions %d  finished %d  cycles %d\n",
+		r.Sessions, r.Totals.Finished, r.Cycles)
+	if r.Totals.Finished > 0 {
+		fmt.Fprintf(w, "  sim %.1fs  energy %.1fJ  mean gips %.3f  mean |err| %.3f\n",
+			r.Totals.SimSeconds, r.Totals.EnergyJ, r.Totals.MeanGIPS, r.Totals.MeanAbsErrGIPS)
+	}
+
+	if len(r.Cohorts) > 0 {
+		fmt.Fprintf(w, "\n  %-16s %8s %8s %10s %9s %9s %9s %9s %9s\n",
+			"cohort", "sessions", "finished", "cycles", "gips", "power W", "slack%", "p50", "p95")
+		for i := range r.Cohorts {
+			c := &r.Cohorts[i]
+			fmt.Fprintf(w, "  %-16s %8d %8d %10d %9.3f %9.3f %9.2f %9.1f %9.1f\n",
+				clip(c.Name, 16), c.Sessions, c.Finished, c.Cycles,
+				c.MeanGIPS, c.MeanPowerW, c.MeanSlackPct, c.P50SlackPct, c.P95SlackPct)
+		}
+	}
+
+	if r.Slack.Total() > 0 {
+		fmt.Fprintf(w, "\n  population slack%% distribution (%d obs)\n", r.Slack.Total())
+		writeDist(w, r.Slack)
+	}
+
+	if s := r.Saturation; s != nil {
+		fmt.Fprintf(w, "\n  saturation: %d brownout(s), worst depth %.2f, %d cycles in brownout (threshold %.2f)\n",
+			len(s.Brownouts), s.WorstDepth, s.BrownoutCycles, s.Threshold)
+		for _, b := range s.Brownouts {
+			fmt.Fprintf(w, "    onset %7.1fs  width %6.1fs  depth %.2f  cycles %d\n",
+				b.OnsetS, b.WidthS, b.Depth, b.Cycles)
+		}
+	}
+
+	if len(r.Interference) > 0 {
+		fmt.Fprintf(w, "\n  interference (storm vs calm slack)\n")
+		fmt.Fprintf(w, "  %-16s %10s %10s %9s %9s %9s %7s\n",
+			"cohort", "storm cyc", "calm cyc", "storm", "calm", "collapse", "corr")
+		for _, inf := range r.Interference {
+			fmt.Fprintf(w, "  %-16s %10d %10d %9.2f %9.2f %9.2f %7.3f\n",
+				clip(inf.Cohort, 16), inf.StormCycles, inf.CalmCycles,
+				inf.StormMeanSlackPct, inf.CalmMeanSlackPct, inf.SlackCollapsePct,
+				inf.ArrivalSlackCorr)
+		}
+	}
+}
+
+// writeDist draws one distribution as per-bucket bars.
+func writeDist(w io.Writer, s DistSnapshot) {
+	total := s.Total()
+	if total == 0 {
+		return
+	}
+	const width = 40
+	var max uint64
+	for _, c := range s.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	label := func(i int) string {
+		if i < len(s.Bounds) {
+			return fmt.Sprintf("<= %g", s.Bounds[i])
+		}
+		return "+Inf"
+	}
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		bar := int(float64(c) / float64(max) * width)
+		if bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(w, "    %-10s %8d |%s\n", label(i), c, strings.Repeat("#", bar))
+	}
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,54 @@
+package pipeline
+
+import "sync/atomic"
+
+// ring is a bounded single-producer/single-consumer queue of cycle
+// records over a power-of-two buffer. The producer is the one worker
+// goroutine that owns this ring; the consumer role (drain) is taken by
+// whoever holds the owning shard's mutex — the collector during an
+// epoch advance, or the producer itself on overflow. head and tail are
+// monotonic uint64 positions; the atomic stores publish slot writes to
+// the other side (release/acquire via sync/atomic), so the steady-state
+// push takes no lock and allocates nothing.
+type ring struct {
+	buf  []CycleRecord
+	mask uint64
+	head atomic.Uint64 // next write position; producer-owned
+	tail atomic.Uint64 // next read position; consumer-owned
+}
+
+// newRing sizes a ring to at least capacity slots, rounded up to a
+// power of two (minimum 2).
+func newRing(capacity int) *ring {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	return &ring{buf: make([]CycleRecord, n), mask: uint64(n - 1)}
+}
+
+// push appends one record; it reports false when the ring is full (the
+// producer then folds its own ring into its shard and retries). Single
+// producer only.
+func (r *ring) push(rec *CycleRecord) bool {
+	h := r.head.Load()
+	if h-r.tail.Load() >= uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[h&r.mask] = *rec
+	r.head.Store(h + 1)
+	return true
+}
+
+// drain consumes every record currently in the ring, in push order.
+// Single consumer: callers must hold the owning shard's mutex.
+func (r *ring) drain(fn func(*CycleRecord)) int {
+	t := r.tail.Load()
+	h := r.head.Load()
+	n := int(h - t)
+	for ; t != h; t++ {
+		fn(&r.buf[t&r.mask])
+	}
+	r.tail.Store(t)
+	return n
+}

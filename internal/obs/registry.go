@@ -208,6 +208,19 @@ func (h Histogram) Count() uint64 {
 	return h.v.dist.Total()
 }
 
+// Load overwrites the histogram's state from an externally aggregated
+// snapshot — raw per-bucket counts (+Inf overflow last) and the value
+// sum — the histogram analogue of Counter.Set for scrape-time refresh.
+// A bucket-count mismatch panics: bounds are fixed at registration, so
+// a mismatched snapshot is a programming error.
+func (h Histogram) Load(counts []uint64, sum float64) {
+	h.v.f.mu.Lock()
+	defer h.v.f.mu.Unlock()
+	if err := h.v.dist.SetCounts(counts, sum); err != nil {
+		panic("obs: " + err.Error())
+	}
+}
+
 // Counter returns (registering on first use) the unlabeled counter name.
 func (r *Registry) Counter(name, help string) Counter {
 	return Counter{r.register(name, help, typeCounter, nil, nil).get()}
@@ -249,6 +262,20 @@ func (r *Registry) GaugeVec(name, help string, labels ...string) GaugeVec {
 // With resolves the series for one label-value tuple.
 func (v GaugeVec) With(labelValues ...string) Gauge {
 	return Gauge{v.f.get(labelValues...)}
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec returns (registering on first use) a labeled histogram
+// family over the given strictly increasing upper bounds.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) HistogramVec {
+	return HistogramVec{r.register(name, help, typeHistogram, labels, bounds)}
+}
+
+// With resolves the series for one label-value tuple.
+func (v HistogramVec) With(labelValues ...string) Histogram {
+	return Histogram{v.f.get(labelValues...)}
 }
 
 // WriteText renders the registry in the Prometheus text exposition

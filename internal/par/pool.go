@@ -27,8 +27,9 @@ var (
 // ForEach cells do, and results must not depend on which worker runs a
 // job or in what order queued jobs start.
 type Pool struct {
-	jobs chan func()
-	wg   sync.WaitGroup
+	jobs    chan func(int)
+	workers int
+	wg      sync.WaitGroup
 
 	mu     sync.Mutex
 	closed bool
@@ -40,23 +41,40 @@ func NewPool(workers, queue int) *Pool {
 	if queue <= 0 {
 		queue = 1024
 	}
-	p := &Pool{jobs: make(chan func(), queue)}
 	w := Workers(workers)
+	p := &Pool{jobs: make(chan func(int), queue), workers: w}
 	p.wg.Add(w)
 	for i := 0; i < w; i++ {
-		go func() {
+		go func(worker int) {
 			defer p.wg.Done()
 			for job := range p.jobs {
-				job()
+				job(worker)
 			}
-		}()
+		}(i)
 	}
 	return p
 }
 
+// NumWorkers returns the pool's worker count — the valid worker indices
+// a SubmitIndexed job may observe are [0, NumWorkers()).
+func (p *Pool) NumWorkers() int { return p.workers }
+
 // Submit enqueues a job without blocking. It fails with ErrPoolClosed
 // once Close has begun and ErrQueueFull when the backlog is at capacity.
 func (p *Pool) Submit(job func()) error {
+	if job == nil {
+		return fmt.Errorf("par: nil job")
+	}
+	return p.SubmitIndexed(func(int) { job() })
+}
+
+// SubmitIndexed enqueues a job that receives the index of the worker
+// goroutine running it — the handle per-worker state (telemetry rings,
+// shards) is keyed by. Same backpressure contract as Submit. The index
+// identifies the goroutine, not the job: which worker runs a given job
+// is scheduling-dependent, so correctness must not hinge on the value —
+// only on its uniqueness while the job runs.
+func (p *Pool) SubmitIndexed(job func(worker int)) error {
 	if job == nil {
 		return fmt.Errorf("par: nil job")
 	}

@@ -8,6 +8,7 @@ import (
 	"aspeo/internal/experiment"
 	"aspeo/internal/fault"
 	"aspeo/internal/obs"
+	"aspeo/internal/obs/pipeline"
 	"aspeo/internal/platform"
 	"aspeo/internal/sim"
 )
@@ -146,11 +147,17 @@ type FleetRollup struct {
 	MeanGIPS       float64 `json:"mean_gips"`
 	MeanAbsErrGIPS float64 `json:"mean_abs_err_gips"`
 
-	// Health sums the ladder ledgers across all controller sessions
-	// (live last-seen values plus finished finals); Relinquished counts
-	// sessions whose controller handed the device back.
+	// Health sums the ladder ledgers across all controller sessions —
+	// exact per-cycle deltas, cumulative across restart attempts;
+	// Relinquished counts sessions whose final attempt handed the
+	// device back.
 	Health       platform.Health `json:"health"`
 	Relinquished int             `json:"relinquished"`
+
+	// Telemetry is the pipeline's epoch rollup: per-cohort population
+	// distributions, saturation (brownout) events and interference
+	// analysis. Nil on rollups assembled without a pipeline.
+	Telemetry *pipeline.Rollup `json:"telemetry,omitempty"`
 }
 
 // Active reports how many sessions are not yet terminal.
@@ -168,6 +175,9 @@ func Fleet(w io.Writer, r FleetRollup) {
 		h.ActuationFailures, h.GovernorReinstalls, h.RejectedSamples, h.WatchdogTrips, h.DegradedCycles, r.Relinquished)
 	if h.LastTransition != "" {
 		fmt.Fprintf(w, "  last-transition: %s\n", h.LastTransition)
+	}
+	if r.Telemetry != nil {
+		pipeline.WriteTable(w, r.Telemetry)
 	}
 }
 
@@ -223,6 +233,56 @@ func RollupMetrics(reg *obs.Registry, r FleetRollup) {
 		counter(m.name, m.help, float64(m.v))
 	}
 	gauge("aspeo_fleet_relinquished_sessions", "Sessions whose controller relinquished the device.", float64(r.Relinquished))
+
+	if t := r.Telemetry; t != nil {
+		telemetryMetrics(reg, t)
+	}
+}
+
+// telemetryMetrics publishes the pipeline rollup's distribution and
+// analyzer families: the population measured-GIPS histogram (loaded
+// into the same family the fleet registers at construction), per-cohort
+// labeled histograms, and the saturation/interference figures.
+func telemetryMetrics(reg *obs.Registry, t *pipeline.Rollup) {
+	reg.Histogram("aspeo_fleet_measured_gips",
+		"Per-cycle measured performance across all controller sessions.",
+		pipeline.GIPSBounds).Load(t.GIPS.Counts, t.GIPS.Sum)
+
+	slackVec := reg.HistogramVec("aspeo_fleet_cohort_slack_pct",
+		"Per-cycle slack (100·(measured−target)/target) by cohort.",
+		pipeline.SlackBounds, "cohort")
+	powVec := reg.HistogramVec("aspeo_fleet_cohort_power_watts",
+		"Per-cycle device power by cohort.",
+		pipeline.PowerBounds, "cohort")
+	gipsVec := reg.HistogramVec("aspeo_fleet_cohort_measured_gips",
+		"Per-cycle measured performance by cohort.",
+		pipeline.GIPSBounds, "cohort")
+	for i := range t.Cohorts {
+		c := &t.Cohorts[i]
+		slackVec.With(c.Name).Load(c.Slack.Counts, c.Slack.Sum)
+		powVec.With(c.Name).Load(c.Power.Counts, c.Power.Sum)
+		gipsVec.With(c.Name).Load(c.GIPS.Counts, c.GIPS.Sum)
+	}
+
+	brownouts, depth, cycles := 0, 0.0, uint64(0)
+	if s := t.Saturation; s != nil {
+		brownouts, depth, cycles = len(s.Brownouts), s.WorstDepth, s.BrownoutCycles
+	}
+	reg.Gauge("aspeo_fleet_brownouts",
+		"Brownout events detected by the saturation analyzer.").Set(float64(brownouts))
+	reg.Gauge("aspeo_fleet_brownout_worst_depth",
+		"Deepest per-window GIPS deficit (1 − measured/target).").Set(depth)
+	reg.Counter("aspeo_fleet_brownout_cycles_total",
+		"Control cycles that ran inside brownout windows.").Set(float64(cycles))
+
+	collapse := reg.GaugeVec("aspeo_fleet_slack_collapse_pct",
+		"Calm-minus-storm mean slack by cohort (interference analyzer).", "cohort")
+	corr := reg.GaugeVec("aspeo_fleet_arrival_slack_corr",
+		"Correlation of population arrivals with cohort slack.", "cohort")
+	for _, inf := range t.Interference {
+		collapse.With(inf.Cohort).Set(inf.SlackCollapsePct)
+		corr.With(inf.Cohort).Set(inf.ArrivalSlackCorr)
+	}
 }
 
 // PrometheusMetrics renders the rollup in the Prometheus text exposition

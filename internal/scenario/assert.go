@@ -1,0 +1,167 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"aspeo/internal/obs/pipeline"
+)
+
+// Assertion is one scenario-level acceptance check, evaluated against
+// the final telemetry rollup once the population lands: "the population
+// (or one cohort) must satisfy metric OP value". A spec carries its own
+// pass/fail contract, so a scenario is a runnable regression test.
+type Assertion struct {
+	// Metric names the rollup quantity; see assertionMetrics.
+	Metric string `json:"metric"`
+	// Cohort scopes the metric to one cohort; empty means the whole
+	// population. Population-only metrics reject a cohort scope.
+	Cohort string `json:"cohort,omitempty"`
+	// Op is the comparison: >=, <=, >, <, == or !=.
+	Op string `json:"op"`
+	// Value is the right-hand side.
+	Value float64 `json:"value"`
+}
+
+// assertionMetric resolves one metric from a rollup; cohortOK marks
+// metrics that may be scoped to a cohort.
+type assertionMetric struct {
+	cohortOK bool
+	pop      func(r *pipeline.Rollup) float64
+	cohort   func(c *pipeline.CohortStats) float64
+}
+
+var assertionMetrics = map[string]assertionMetric{
+	"cycles": {cohortOK: true,
+		pop:    func(r *pipeline.Rollup) float64 { return float64(r.Cycles) },
+		cohort: func(c *pipeline.CohortStats) float64 { return float64(c.Cycles) }},
+	"sessions": {cohortOK: true,
+		pop:    func(r *pipeline.Rollup) float64 { return float64(r.Sessions) },
+		cohort: func(c *pipeline.CohortStats) float64 { return float64(c.Sessions) }},
+	"finished": {cohortOK: true,
+		pop:    func(r *pipeline.Rollup) float64 { return float64(r.Totals.Finished) },
+		cohort: func(c *pipeline.CohortStats) float64 { return float64(c.Finished) }},
+	"mean_gips": {cohortOK: true,
+		pop:    func(r *pipeline.Rollup) float64 { return r.GIPS.Mean() },
+		cohort: func(c *pipeline.CohortStats) float64 { return c.MeanGIPS }},
+	"mean_power_w": {cohortOK: true,
+		pop:    func(r *pipeline.Rollup) float64 { return r.Power.Mean() },
+		cohort: func(c *pipeline.CohortStats) float64 { return c.MeanPowerW }},
+	"mean_power_mw": {cohortOK: true,
+		pop:    func(r *pipeline.Rollup) float64 { return 1000 * r.Power.Mean() },
+		cohort: func(c *pipeline.CohortStats) float64 { return 1000 * c.MeanPowerW }},
+	"mean_slack_pct": {cohortOK: true,
+		pop:    func(r *pipeline.Rollup) float64 { return r.Slack.Mean() },
+		cohort: func(c *pipeline.CohortStats) float64 { return c.MeanSlackPct }},
+	"p50_slack_pct": {cohortOK: true,
+		pop:    func(r *pipeline.Rollup) float64 { return r.Slack.Dist().Quantile(0.50) },
+		cohort: func(c *pipeline.CohortStats) float64 { return c.P50SlackPct }},
+	"p95_slack_pct": {cohortOK: true,
+		pop:    func(r *pipeline.Rollup) float64 { return r.Slack.Dist().Quantile(0.95) },
+		cohort: func(c *pipeline.CohortStats) float64 { return c.P95SlackPct }},
+	"energy_j":    {pop: func(r *pipeline.Rollup) float64 { return r.Totals.EnergyJ }},
+	"sim_seconds": {pop: func(r *pipeline.Rollup) float64 { return r.Totals.SimSeconds }},
+	"mean_abs_err_gips": {
+		pop: func(r *pipeline.Rollup) float64 { return r.Totals.MeanAbsErrGIPS }},
+	"brownouts": {pop: func(r *pipeline.Rollup) float64 {
+		if r.Saturation == nil {
+			return 0
+		}
+		return float64(len(r.Saturation.Brownouts))
+	}},
+	"brownout_max_depth": {pop: func(r *pipeline.Rollup) float64 {
+		if r.Saturation == nil {
+			return 0
+		}
+		return r.Saturation.WorstDepth
+	}},
+}
+
+// assertionMetricNames lists the known metrics, sorted, for error text.
+func assertionMetricNames() []string {
+	names := make([]string, 0, len(assertionMetrics))
+	for n := range assertionMetrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var assertionOps = map[string]func(a, b float64) bool{
+	">=": func(a, b float64) bool { return a >= b },
+	"<=": func(a, b float64) bool { return a <= b },
+	">":  func(a, b float64) bool { return a > b },
+	"<":  func(a, b float64) bool { return a < b },
+	"==": func(a, b float64) bool { return a == b },
+	"!=": func(a, b float64) bool { return a != b },
+}
+
+// validate checks one assertion against the spec's cohort list; the
+// caller wraps the error with its field path.
+func (a Assertion) validate(s *Spec) error {
+	m, ok := assertionMetrics[a.Metric]
+	if !ok {
+		return fmt.Errorf("metric: unknown metric %q (want one of: %v)", a.Metric, assertionMetricNames())
+	}
+	if a.Cohort != "" {
+		if !m.cohortOK {
+			return fmt.Errorf("cohort: metric %q is population-only", a.Metric)
+		}
+		found := false
+		for i := range s.Cohorts {
+			if s.Cohorts[i].Name == a.Cohort {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("cohort: unknown cohort %q", a.Cohort)
+		}
+	}
+	if _, ok := assertionOps[a.Op]; !ok {
+		return fmt.Errorf("op: unknown op %q (want >=, <=, >, <, == or !=)", a.Op)
+	}
+	if !finite(a.Value) {
+		return fmt.Errorf("value: %v, want finite", a.Value)
+	}
+	return nil
+}
+
+// Evaluate checks every assertion against the rollup and returns one
+// error per failed assertion, each carrying its field path
+// ("assertions[2]: cohort game mean_power_mw = 2150.3, want <= 2000").
+// A validated spec never hits the unknown-metric path here.
+func (s *Spec) Evaluate(r *pipeline.Rollup) []error {
+	if r == nil {
+		if len(s.Assertions) == 0 {
+			return nil
+		}
+		return []error{fmt.Errorf("assertions: no telemetry rollup to evaluate against")}
+	}
+	var errs []error
+	for i, a := range s.Assertions {
+		m, ok := assertionMetrics[a.Metric]
+		if !ok {
+			errs = append(errs, fmt.Errorf("assertions[%d].metric: unknown metric %q", i, a.Metric))
+			continue
+		}
+		var got float64
+		scope := "population"
+		if a.Cohort != "" {
+			scope = "cohort " + a.Cohort
+			c := r.Cohort(a.Cohort)
+			if c == nil {
+				errs = append(errs, fmt.Errorf("assertions[%d]: cohort %q absent from the rollup", i, a.Cohort))
+				continue
+			}
+			got = m.cohort(c)
+		} else {
+			got = m.pop(r)
+		}
+		if !assertionOps[a.Op](got, a.Value) {
+			errs = append(errs, fmt.Errorf("assertions[%d]: %s %s = %g, want %s %g",
+				i, scope, a.Metric, got, a.Op, a.Value))
+		}
+	}
+	return errs
+}

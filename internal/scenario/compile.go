@@ -41,11 +41,18 @@ type Session struct {
 	Controller  bool    `json:"controller,omitempty"`
 	CPUOnly     bool    `json:"cpu_only,omitempty"`
 	Governor    string  `json:"governor,omitempty"`
+	TargetGIPS  float64 `json:"target_gips,omitempty"`
 	Quick       bool    `json:"quick,omitempty"`
 	Engine      string  `json:"engine,omitempty"`
 	Faults      string  `json:"faults,omitempty"`
 	RunForS     float64 `json:"run_for_s,omitempty"`
 	MaxRestarts int     `json:"max_restarts,omitempty"`
+
+	// StormPeriodS/StormBurstS carry the cohort's ad-storm phase so the
+	// fleet telemetry pipeline can tag storm-active cycles without
+	// reverse-engineering the background workload.
+	StormPeriodS float64 `json:"storm_period_s,omitempty"`
+	StormBurstS  float64 `json:"storm_burst_s,omitempty"`
 }
 
 // SessionSpec converts the compiled session into the experiment layer's
@@ -59,6 +66,7 @@ func (g *Session) SessionSpec() experiment.SessionSpec {
 		Governor:        g.Governor,
 		Controller:      g.Controller,
 		CPUOnly:         g.CPUOnly,
+		TargetGIPS:      g.TargetGIPS,
 		Quick:           g.Quick,
 		Seed:            g.Seed,
 		Engine:          g.Engine,
@@ -142,6 +150,7 @@ func (s *Spec) synthSession(i int, seed int64, arrival float64) (Session, error)
 		Controller:  c.Controller,
 		CPUOnly:     c.CPUOnly,
 		Governor:    c.Governor,
+		TargetGIPS:  c.TargetGIPS,
 		Quick:       c.Quick,
 		Engine:      c.Engine,
 		Faults:      c.Faults,
@@ -153,6 +162,8 @@ func (s *Spec) synthSession(i int, seed int64, arrival float64) (Session, error)
 	}
 	if st := c.AdStorm; st != nil {
 		sess.ExtraBackground = append(sess.ExtraBackground, adStormSpec(st))
+		sess.StormPeriodS = st.PeriodS
+		sess.StormBurstS = st.BurstS
 	}
 	return sess, nil
 }

@@ -75,6 +75,11 @@ type Spec struct {
 	// Cohorts partition the population; each session joins one cohort
 	// by weighted draw.
 	Cohorts []Cohort `json:"cohorts"`
+	// Assertions are checked against the fleet's final telemetry rollup
+	// after the population lands (aspeo-fleet -oneshot, aspeo-run
+	// -scenario); any failure is reported with its field path and the
+	// process exits non-zero.
+	Assertions []Assertion `json:"assertions,omitempty"`
 	// Traces names recorded aspeo-run -record traces to import as
 	// first-class workloads: map of workload name to trace JSON path
 	// (relative paths resolve against the spec file's directory).
@@ -152,6 +157,11 @@ type Cohort struct {
 	Controller bool   `json:"controller,omitempty"`
 	CPUOnly    bool   `json:"cpu_only,omitempty"`
 	Governor   string `json:"governor,omitempty"`
+	// TargetGIPS overrides the controller's performance target for every
+	// cohort session (controller cohorts only; 0 keeps the profiled
+	// default). A target past what the device can deliver is how a spec
+	// provokes saturation for the brownout analyzer.
+	TargetGIPS float64 `json:"target_gips,omitempty"`
 	// Quick selects reduced-fidelity on-the-fly profiling for
 	// controller sessions (recommended for generated workloads, which
 	// have no stored profile tables).

@@ -75,6 +75,11 @@ func (s *Spec) Validate() error {
 	if weightSum <= 0 {
 		return fmt.Errorf("cohorts: total weight %v, want > 0", weightSum)
 	}
+	for i, a := range s.Assertions {
+		if err := a.validate(s); err != nil {
+			return fmt.Errorf("assertions[%d].%w", i, err)
+		}
+	}
 	return nil
 }
 
@@ -163,6 +168,12 @@ func (s *Spec) validateCohort(c *Cohort) error {
 	}
 	if c.Controller && c.Governor != "" {
 		return fmt.Errorf("governor: %q set on a controller cohort", c.Governor)
+	}
+	if c.TargetGIPS < 0 || !finite(c.TargetGIPS) {
+		return fmt.Errorf("target_gips: %v, want >= 0 and finite", c.TargetGIPS)
+	}
+	if c.TargetGIPS > 0 && !c.Controller {
+		return fmt.Errorf("target_gips: %v set on a non-controller cohort", c.TargetGIPS)
 	}
 	if _, err := sim.ParseBackend(c.Engine); err != nil {
 		return fmt.Errorf("engine: %w", err)
